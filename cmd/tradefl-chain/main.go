@@ -1,0 +1,147 @@
+// Command tradefl-chain runs a TradeFL private-chain node: it deploys the
+// settlement contract for a Table II instance and serves the Web3-style
+// JSON-RPC interface organizations use to deposit, submit contributions and
+// settle (Sec. III-F of the paper).
+//
+// Usage:
+//
+//	tradefl-chain -listen 127.0.0.1:8545 -seed 7 [-keys keys.json]
+//
+// The node prints each member's address and funds it at genesis; the keys
+// file (written on startup) lets organization processes sign transactions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tradefl/internal/chain"
+	"tradefl/internal/game"
+	"tradefl/internal/randx"
+)
+
+// keyFile is the JSON document written with -keys: enough for a separate
+// process to recreate each organization's account deterministically.
+type keyFile struct {
+	Seed      int64           `json:"seed"`
+	Members   []chain.Address `json:"members"`
+	Authority chain.Address   `json:"authority"`
+	RPC       string          `json:"rpc"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tradefl-chain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tradefl-chain", flag.ContinueOnError)
+	var (
+		listen = fs.String("listen", "127.0.0.1:8545", "RPC listen address")
+		seed   = fs.Int64("seed", 7, "seed of the game instance and accounts")
+		keys   = fs.String("keys", "", "write member key/address info to this file")
+		fund   = fs.Int64("fund", 1_000_000_000, "genesis balance per member (wei)")
+		store  = fs.String("store", "", "persist the chain to this file (reloaded if present)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := game.DefaultConfig(game.GenOptions{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	src := randx.New(*seed)
+	authority, err := chain.NewAccount(src)
+	if err != nil {
+		return err
+	}
+	n := cfg.N()
+	members := make([]chain.Address, n)
+	bits := make([]float64, n)
+	alloc := chain.GenesisAlloc{}
+	for i, o := range cfg.Orgs {
+		acct, err := chain.NewAccount(src)
+		if err != nil {
+			return err
+		}
+		members[i] = acct.Address()
+		bits[i] = o.DataBits
+		alloc[members[i]] = chain.Wei(*fund)
+	}
+	params := chain.ContractParams{
+		Members:  members,
+		Rho:      cfg.Rho,
+		DataBits: bits,
+		Gamma:    cfg.Gamma,
+		Lambda:   cfg.Lambda,
+	}
+	var bc *chain.Blockchain
+	if *store != "" {
+		if _, statErr := os.Stat(*store); statErr == nil {
+			bc, err = chain.Load(*store, authority)
+			if err != nil {
+				return fmt.Errorf("reload %s: %w", *store, err)
+			}
+			fmt.Printf("tradefl-chain: reloaded and replay-verified %s (height %d)\n", *store, bc.Height())
+		}
+	}
+	if bc == nil {
+		bc, err = chain.NewBlockchain(authority, params, alloc)
+		if err != nil {
+			return err
+		}
+	}
+	persist := func() error {
+		if *store == "" {
+			return nil
+		}
+		return bc.Save(*store, params, alloc)
+	}
+	srv, err := chain.NewServer(bc, *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Println("tradefl-chain: RPC on", srv.Addr())
+	fmt.Println("authority:", authority.Address())
+	for i, m := range members {
+		fmt.Printf("member %d: %s (funded %d wei)\n", i, m, *fund)
+	}
+	if *keys != "" {
+		raw, err := json.MarshalIndent(keyFile{
+			Seed: *seed, Members: members,
+			Authority: authority.Address(), RPC: srv.Addr(),
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*keys, raw, 0o600); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *keys)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		return err
+	case <-sig:
+		fmt.Println("tradefl-chain: shutting down")
+		if err := persist(); err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		return <-done
+	}
+}

@@ -1,0 +1,81 @@
+// Command tradefl-sim regenerates the tables and figures of the TradeFL
+// paper's evaluation (Sec. VI) as CSV.
+//
+// Usage:
+//
+//	tradefl-sim -list
+//	tradefl-sim -fig fig7 [-seed 7] [-quick]
+//	tradefl-sim -all -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tradefl/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tradefl-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tradefl-sim", flag.ContinueOnError)
+	var (
+		fig   = fs.String("fig", "", "experiment id to run (see -list)")
+		all   = fs.Bool("all", false, "run every experiment")
+		list  = fs.Bool("list", false, "list experiment ids")
+		seed  = fs.Int64("seed", 7, "random seed of the reference instance")
+		quick = fs.Bool("quick", false, "coarse sweeps and short FL runs")
+		out   = fs.String("out", "", "directory for CSV files (default stdout)")
+		plot  = fs.Bool("plot", false, "render terminal charts instead of CSV")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *fig != "":
+		ids = []string{*fig}
+	default:
+		return fmt.Errorf("need -fig <id>, -all or -list")
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	for _, id := range ids {
+		figure, err := experiments.Run(id, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *plot {
+			fmt.Print(figure.Plot(72, 18))
+			continue
+		}
+		csv := figure.CSV()
+		if *out == "" {
+			fmt.Print(csv)
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*out, id+".csv")
+		if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package tradefl_test
+
+// Runnable godoc examples for the public facade. They double as
+// documentation on pkg.go.dev-style viewers and as tests (the Output
+// comments are verified by `go test`).
+
+import (
+	"context"
+	"fmt"
+
+	"tradefl"
+)
+
+// Example runs the mechanism end to end on the reference instance and
+// prints the headline properties every run satisfies.
+func Example() {
+	cfg, err := tradefl.DefaultConfig(tradefl.GenOptions{Seed: 7})
+	if err != nil {
+		fmt.Println("config:", err)
+		return
+	}
+	mech, err := tradefl.New(cfg)
+	if err != nil {
+		fmt.Println("mechanism:", err)
+		return
+	}
+	res, err := mech.Run(context.Background(), tradefl.Options{Settle: true})
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	var transfers float64
+	for _, tr := range res.Settlement.Transfers {
+		transfers += tr
+	}
+	fmt.Println("organizations:", len(res.Profile))
+	fmt.Println("nash:", res.Nash.IsNash)
+	fmt.Println("budget balanced:", transfers < 1e-6 && transfers > -1e-6)
+	fmt.Println("chain verified:", res.Settlement.Verified)
+	// Output:
+	// organizations: 10
+	// nash: true
+	// budget balanced: true
+	// chain verified: true
+}
+
+// ExampleDefaultConfig shows the Table II parameter ranges of a generated
+// instance.
+func ExampleDefaultConfig() {
+	cfg, err := tradefl.DefaultConfig(tradefl.GenOptions{Seed: 1, N: 3})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("N:", cfg.N())
+	fmt.Println("Dmin:", cfg.DMin)
+	ok := true
+	for _, o := range cfg.Orgs {
+		if o.Profitability < 500 || o.Profitability > 2500 {
+			ok = false
+		}
+	}
+	fmt.Println("profitability in [500,2500]:", ok)
+	// Output:
+	// N: 3
+	// Dmin: 0.01
+	// profitability in [500,2500]: true
+}
+
+// ExampleMechanism_CompareSchemes reproduces the paper's scheme comparison
+// on one instance (Fig. 6's qualitative ordering).
+func ExampleMechanism_CompareSchemes() {
+	cfg, err := tradefl.DefaultConfig(tradefl.GenOptions{Seed: 7})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	mech, err := tradefl.New(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	out, err := mech.CompareSchemes()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dbr := cfg.SocialWelfare(out[tradefl.SchemeDBR].Profile)
+	wpr := cfg.SocialWelfare(out[tradefl.SchemeWPR].Profile)
+	tos := cfg.SocialWelfare(out[tradefl.SchemeTOS].Profile)
+	fmt.Println("DBR beats plain FL (WPR):", dbr > wpr)
+	fmt.Println("DBR beats contribute-everything (TOS):", dbr > tos)
+	// Output:
+	// DBR beats plain FL (WPR): true
+	// DBR beats contribute-everything (TOS): true
+}
+
+// ExamplePersonalization enables the paper's future-work extension.
+func ExamplePersonalization() {
+	cfg, err := tradefl.DefaultConfig(tradefl.GenOptions{Seed: 7})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	base := cfg.TotalDamage(mustEquilibrium(cfg))
+	cfg.Personal = tradefl.Personalization{Alpha: 0.5, LocalBoost: 2}
+	pers := cfg.TotalDamage(mustEquilibrium(cfg))
+	fmt.Println("personalization reduces coopetition damage:", pers < base)
+	// Output:
+	// personalization reduces coopetition damage: true
+}
+
+// mustEquilibrium solves the game with DBR for examples.
+func mustEquilibrium(cfg *tradefl.Config) tradefl.Profile {
+	mech, err := tradefl.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := mech.Run(context.Background(), tradefl.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return res.Profile
+}

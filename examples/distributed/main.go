@@ -1,0 +1,188 @@
+// Distributed pipeline: the full TradeFL deployment story in one program —
+// organizations negotiate the equilibrium over real TCP sockets (Algorithm
+// 2, no central parameter server), then settle the payoff redistribution
+// through the smart contract on a chain node reached over JSON-RPC, exactly
+// the Fig. 3 lifecycle: depositSubmit → contributionSubmit →
+// payoffCalculate → payoffTransfer → profileRecord.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"tradefl"
+	"tradefl/internal/chain"
+	"tradefl/internal/dbr"
+	"tradefl/internal/game"
+	"tradefl/internal/randx"
+	"tradefl/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distributed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const seed = 7
+	cfg, err := tradefl.DefaultConfig(tradefl.GenOptions{Seed: seed, N: 6})
+	if err != nil {
+		return err
+	}
+	n := cfg.N()
+
+	// --- Phase 1: negotiate the equilibrium over TCP ---------------------
+	names := make([]string, n)
+	tcp := make([]*transport.TCPNode, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("org-%d", i)
+		node, err := transport.NewTCPNode(names[i], "127.0.0.1:0", 16)
+		if err != nil {
+			return err
+		}
+		tcp[i] = node
+		defer tcp[i].Close()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			tcp[i].RegisterPeer(names[j], tcp[j].Addr())
+		}
+	}
+	nodes := make([]*dbr.Node, n)
+	for i := 0; i < n; i++ {
+		if nodes[i], err = dbr.NewNode(cfg, i, tcp[i], names, dbr.Options{}); err != nil {
+			return err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	profiles := make([]game.Profile, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			profiles[i], errs[i] = nodes[i].Run(ctx)
+		}(i)
+	}
+	if err := nodes[0].Start(); err != nil {
+		return err
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	profile := profiles[0]
+	fmt.Printf("phase 1: %d organizations agreed on the equilibrium over TCP (welfare %.1f)\n",
+		n, cfg.SocialWelfare(profile))
+
+	// --- Phase 2: settle on the chain over JSON-RPC ----------------------
+	src := randx.New(seed)
+	authority, err := chain.NewAccount(src)
+	if err != nil {
+		return err
+	}
+	accounts := make([]*chain.Account, n)
+	members := make([]chain.Address, n)
+	bits := make([]float64, n)
+	alloc := chain.GenesisAlloc{}
+	for i, o := range cfg.Orgs {
+		if accounts[i], err = chain.NewAccount(src); err != nil {
+			return err
+		}
+		members[i] = accounts[i].Address()
+		bits[i] = o.DataBits
+		alloc[members[i]] = 1_000_000_000
+	}
+	params := chain.ContractParams{
+		Members: members, Rho: cfg.Rho, DataBits: bits,
+		Gamma: cfg.Gamma, Lambda: cfg.Lambda,
+	}
+	bc, err := chain.NewBlockchain(authority, params, alloc)
+	if err != nil {
+		return err
+	}
+	srv, err := chain.NewServer(bc, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+	defer func() {
+		_ = srv.Close()
+		<-serveDone
+	}()
+	client := chain.NewClient(srv.Addr())
+	fmt.Println("phase 2: chain node serving RPC at", srv.Addr())
+
+	send := func(i int, fn chain.Function, args any, value chain.Wei) error {
+		nonce, err := client.Nonce(members[i])
+		if err != nil {
+			return err
+		}
+		tx, err := chain.NewTransaction(accounts[i], nonce, fn, args, value)
+		if err != nil {
+			return err
+		}
+		if err := client.SubmitTx(tx); err != nil {
+			return err
+		}
+		_, err = client.SealBlock()
+		return err
+	}
+	for i := range accounts {
+		dep := chain.MinDeposit(params, i, 5e9)
+		if err := send(i, chain.FnDepositSubmit, nil, dep); err != nil {
+			return fmt.Errorf("deposit %d: %w", i, err)
+		}
+	}
+	for i := range accounts {
+		contrib := chain.Contribution{D: profile[i].D, F: profile[i].F}
+		if err := send(i, chain.FnContributionSubmit, contrib, 0); err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+	}
+	if err := send(0, chain.FnPayoffCalculate, nil, 0); err != nil {
+		return fmt.Errorf("calculate: %w", err)
+	}
+	payoffs, err := client.Payoffs()
+	if err != nil {
+		return err
+	}
+	for i := range accounts {
+		if err := send(i, chain.FnPayoffTransfer, nil, 0); err != nil {
+			return fmt.Errorf("transfer %d: %w", i, err)
+		}
+		if err := send(i, chain.FnProfileRecord, nil, 0); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	if err := client.VerifyChain(); err != nil {
+		return fmt.Errorf("chain verification: %w", err)
+	}
+	records, err := client.Records()
+	if err != nil {
+		return err
+	}
+	status, err := client.Status()
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("settlement executed on-chain:")
+	for i := range accounts {
+		fmt.Printf("  %s: d=%.3f, transfer %+.3f tokens\n",
+			cfg.Orgs[i].Name, profile[i].D, chain.FromWei(payoffs[i]))
+	}
+	fmt.Printf("contract status: %+v\n", status)
+	fmt.Printf("%d immutable profile records; chain verified\n", len(records))
+	return nil
+}

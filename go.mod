@@ -1,0 +1,3 @@
+module tradefl
+
+go 1.22

@@ -1,0 +1,231 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSqrtLossValue(t *testing.T) {
+	m := NewSqrtLoss(5, 1.0)
+	tests := []struct {
+		name  string
+		omega float64
+		want  float64
+	}{
+		{"at one", 1, 1.0 - 1/math.Sqrt(5) - 0.2},
+		{"at four", 4, 1.0 - 1/math.Sqrt(20) - 0.2},
+		{"large omega approaches A0 minus 1/G", 1e12, 1.0 - 0.2 - 1e-6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := m.Value(tt.omega)
+			if math.Abs(got-tt.want) > 1e-6 {
+				t.Errorf("Value(%v) = %v, want %v", tt.omega, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSqrtLossNegativeAtTinyOmega(t *testing.T) {
+	m := NewSqrtLoss(5, 1.0)
+	if v := m.Value(1e-4); v >= 0 {
+		t.Errorf("Value(1e-4) = %v, want negative (worse than untrained)", v)
+	}
+}
+
+func TestSqrtLossFloorSaturates(t *testing.T) {
+	m := NewSqrtLoss(5, 1.0)
+	if got, want := m.Value(0), m.Value(m.OmegaFloor); got != want {
+		t.Errorf("Value(0) = %v, want floor value %v", got, want)
+	}
+	if math.IsInf(m.Value(0), 0) || math.IsNaN(m.Value(0)) {
+		t.Errorf("Value(0) = %v, want finite", m.Value(0))
+	}
+}
+
+func TestModelsSatisfyShapeProperty(t *testing.T) {
+	pl, err := NewPowerLaw(0.3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := NewLogSaturation(0.2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScaled(NewSqrtLoss(5, 1.0), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []Model{NewSqrtLoss(5, 1.0), pl, ls, sc}
+	for _, m := range models {
+		t.Run(m.Name(), func(t *testing.T) {
+			if err := VerifyShape(m, 10, 1e6, 500, 1e-9); err != nil {
+				t.Errorf("shape property violated: %v", err)
+			}
+		})
+	}
+}
+
+func TestDerivativeMatchesFiniteDifference(t *testing.T) {
+	pl, _ := NewPowerLaw(0.3, 0.5)
+	ls, _ := NewLogSaturation(0.2, 1000)
+	models := []Model{NewSqrtLoss(5, 1.0), pl, ls}
+	for _, m := range models {
+		t.Run(m.Name(), func(t *testing.T) {
+			for _, omega := range []float64{10, 100, 5000, 2e5} {
+				h := omega * 1e-6
+				fd := (m.Value(omega+h) - m.Value(omega-h)) / (2 * h)
+				an := m.Derivative(omega)
+				if rel := math.Abs(fd-an) / math.Max(math.Abs(an), 1e-300); rel > 1e-4 {
+					t.Errorf("Ω=%v: derivative %v vs finite difference %v", omega, an, fd)
+				}
+			}
+		})
+	}
+}
+
+func TestPowerLawValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b float64
+	}{
+		{"b too large", 1, 1},
+		{"b zero", 1, 0},
+		{"b negative", 1, -0.5},
+		{"a zero", 0, 0.5},
+		{"a negative", -1, 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewPowerLaw(tt.a, tt.b); err == nil {
+				t.Errorf("NewPowerLaw(%v, %v) accepted, want error", tt.a, tt.b)
+			}
+		})
+	}
+}
+
+func TestLogSaturationValidation(t *testing.T) {
+	if _, err := NewLogSaturation(0, 1); err == nil {
+		t.Error("NewLogSaturation(0, 1) accepted, want error")
+	}
+	if _, err := NewLogSaturation(1, 0); err == nil {
+		t.Error("NewLogSaturation(1, 0) accepted, want error")
+	}
+}
+
+func TestScaledValidation(t *testing.T) {
+	if _, err := NewScaled(NewSqrtLoss(5, 1), 0); err == nil {
+		t.Error("NewScaled with unit 0 accepted, want error")
+	}
+	if _, err := NewScaled(nil, 1); err == nil {
+		t.Error("NewScaled with nil inner accepted, want error")
+	}
+}
+
+func TestScaledMatchesManualConversion(t *testing.T) {
+	inner := NewSqrtLoss(5, 1.0)
+	sc, err := NewScaled(inner, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, omega := range []float64{500, 1500, 123456} {
+		if got, want := sc.Value(omega), inner.Value(omega/1000); got != want {
+			t.Errorf("Value(%v) = %v, want %v", omega, got, want)
+		}
+		if got, want := sc.Derivative(omega), inner.Derivative(omega/1000)/1000; math.Abs(got-want) > 1e-18 {
+			t.Errorf("Derivative(%v) = %v, want %v", omega, got, want)
+		}
+	}
+}
+
+func TestFitEmpiricalRejectsTooFewPoints(t *testing.T) {
+	if _, err := FitEmpirical("x", nil); err == nil {
+		t.Error("FitEmpirical(nil) accepted, want error")
+	}
+	if _, err := FitEmpirical("x", []Point{{1, 1}}); err == nil {
+		t.Error("FitEmpirical(one point) accepted, want error")
+	}
+	if _, err := FitEmpirical("x", []Point{{1, 1}, {1, 2}}); err == nil {
+		t.Error("FitEmpirical(duplicate omegas only) accepted, want error")
+	}
+}
+
+func TestFitEmpiricalInterpolates(t *testing.T) {
+	m, err := FitEmpirical("curve", []Point{{0, 0}, {10, 0.5}, {20, 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Value(5); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Value(5) = %v, want 0.25", got)
+	}
+	if got := m.Value(15); math.Abs(got-0.65) > 1e-12 {
+		t.Errorf("Value(15) = %v, want 0.65", got)
+	}
+	// Flat extrapolation below, final slope above.
+	if got := m.Value(-5); got != 0 {
+		t.Errorf("Value(-5) = %v, want 0", got)
+	}
+	if got := m.Value(30); math.Abs(got-1.1) > 1e-12 {
+		t.Errorf("Value(30) = %v, want 1.1", got)
+	}
+}
+
+func TestFitEmpiricalEnforcesShapeOnNoisyInput(t *testing.T) {
+	// Deliberately non-monotone, non-concave measurements.
+	pts := []Point{{0, 0.1}, {10, 0.05}, {20, 0.5}, {30, 0.4}, {40, 0.95}, {50, 0.96}}
+	m, err := FitEmpirical("noisy", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyShape(m, 0, 50, 101, 1e-9); err != nil {
+		t.Errorf("fitted empirical model violates shape: %v", err)
+	}
+}
+
+func TestFitEmpiricalDeduplicatesKeepingMax(t *testing.T) {
+	m, err := FitEmpirical("dup", []Point{{0, 0}, {10, 0.2}, {10, 0.4}, {20, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Value(10); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("Value(10) = %v, want deduplicated max 0.4", got)
+	}
+}
+
+func TestFitEmpiricalShapePropertyQuick(t *testing.T) {
+	// Property: for arbitrary sample clouds, the fitted model always
+	// satisfies Eq. (5) on the sampled range.
+	f := func(raw [12]float64) bool {
+		pts := make([]Point, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			omega := math.Mod(math.Abs(raw[i]), 1000)
+			p := math.Mod(math.Abs(raw[i+1]), 10)
+			pts = append(pts, Point{Omega: omega, P: p})
+		}
+		m, err := FitEmpirical("q", pts)
+		if err != nil {
+			return true // degenerate input (e.g. all same Ω) is allowed to fail
+		}
+		ps := m.Points()
+		lo, hi := ps[0].Omega, ps[len(ps)-1].Omega
+		if hi <= lo {
+			return true
+		}
+		return VerifyShape(m, lo, hi, 64, 1e-9) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyShapeDetectsViolations(t *testing.T) {
+	// A convex function must be rejected.
+	convex := &PowerLaw{A: 1, B: 2} // constructed directly to bypass validation
+	if err := VerifyShape(convex, 1, 100, 50, 1e-9); err == nil {
+		t.Error("VerifyShape accepted a convex model")
+	}
+	if err := VerifyShape(NewSqrtLoss(5, 1), 1, 10, 2, 1e-9); err == nil {
+		t.Error("VerifyShape accepted n < 3")
+	}
+}

@@ -1,0 +1,37 @@
+package accuracy
+
+import "fmt"
+
+// Scaled adapts a Model to a different Ω unit: it evaluates the inner model
+// at Ω/Unit and chain-rules the derivative. Use it when the game measures Ω
+// in one unit (e.g. samples) while the model is calibrated in another
+// (e.g. kilosamples). Shape properties are preserved for any Unit > 0.
+type Scaled struct {
+	Inner Model
+	// Unit is the divisor applied to Ω before the inner model (> 0).
+	Unit float64
+}
+
+var _ Model = (*Scaled)(nil)
+
+// NewScaled wraps inner so that one inner-unit equals unit outer-units.
+func NewScaled(inner Model, unit float64) (*Scaled, error) {
+	if unit <= 0 {
+		return nil, fmt.Errorf("scaled accuracy model: unit %v must be positive", unit)
+	}
+	if inner == nil {
+		return nil, fmt.Errorf("scaled accuracy model: nil inner model")
+	}
+	return &Scaled{Inner: inner, Unit: unit}, nil
+}
+
+// Value implements Model.
+func (m *Scaled) Value(omega float64) float64 { return m.Inner.Value(omega / m.Unit) }
+
+// Derivative implements Model (chain rule).
+func (m *Scaled) Derivative(omega float64) float64 {
+	return m.Inner.Derivative(omega/m.Unit) / m.Unit
+}
+
+// Name implements Model.
+func (m *Scaled) Name() string { return m.Inner.Name() + "/scaled" }

@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"math"
+	"testing"
+
+	"tradefl/internal/game"
+	"tradefl/internal/randx"
+)
+
+func baseGame(t *testing.T) *game.Config {
+	t.Helper()
+	cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestRunFixedPolicy(t *testing.T) {
+	base := baseGame(t)
+	res, err := Run(Config{Base: base, Epochs: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 5 {
+		t.Fatalf("got %d epochs", len(res.Epochs))
+	}
+	for k, er := range res.Epochs {
+		if er.Epoch != k {
+			t.Errorf("epoch %d labeled %d", k, er.Epoch)
+		}
+		if er.Gamma != base.Gamma {
+			t.Errorf("fixed policy changed γ at epoch %d: %v", k, er.Gamma)
+		}
+		if er.Welfare <= 0 || er.TotalData <= 0 {
+			t.Errorf("epoch %d: degenerate outcome %+v", k, er)
+		}
+		// Budget balance holds every epoch.
+		var sum float64
+		for _, tr := range er.Transfers {
+			sum += tr
+		}
+		if math.Abs(sum) > 1e-6 {
+			t.Errorf("epoch %d: ΣR_i = %v", k, sum)
+		}
+	}
+	if res.MeanWelfare <= 0 {
+		t.Error("mean welfare non-positive")
+	}
+}
+
+func TestBaseConfigNotMutated(t *testing.T) {
+	base := baseGame(t)
+	p0 := base.Orgs[0].Profitability
+	s0 := base.Orgs[0].Samples
+	rho01 := base.Rho[0][1]
+	if _, err := Run(Config{Base: base, Epochs: 4, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if base.Orgs[0].Profitability != p0 || base.Orgs[0].Samples != s0 || base.Rho[0][1] != rho01 {
+		t.Error("campaign mutated the caller's base config")
+	}
+}
+
+func TestDriftActuallyMoves(t *testing.T) {
+	base := baseGame(t)
+	res, err := Run(Config{Base: base, Epochs: 6, Seed: 9, ProfitDriftStd: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Epochs[0], res.Epochs[len(res.Epochs)-1]
+	if first.Welfare == last.Welfare && first.TotalData == last.TotalData {
+		t.Error("drift produced identical epochs")
+	}
+}
+
+func TestAdaptivePolicyTracksGammaStar(t *testing.T) {
+	base := baseGame(t)
+	// Start the fixed policy at a deliberately bad γ.
+	bad := cloneConfig(base)
+	bad.Gamma = 1e-9
+	fixed, err := Run(Config{Base: bad, Epochs: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Run(Config{Base: bad, Epochs: 3, Seed: 11, Policy: GammaAdaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.MeanWelfare <= fixed.MeanWelfare {
+		t.Errorf("adaptive γ welfare %v not above badly-fixed γ welfare %v",
+			adaptive.MeanWelfare, fixed.MeanWelfare)
+	}
+	// The adaptive γ moved off the bad initial value.
+	if g := adaptive.Epochs[0].Gamma; g <= 2e-9 {
+		t.Errorf("adaptive γ stayed at %v", g)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("nil base accepted")
+	}
+	base := baseGame(t)
+	base.Accuracy = nil
+	if _, err := Run(Config{Base: base}); err == nil {
+		t.Error("invalid base accepted")
+	}
+}
+
+func TestDeterministicCampaign(t *testing.T) {
+	base := baseGame(t)
+	a, err := Run(Config{Base: base, Epochs: 4, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Base: base, Epochs: 4, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Epochs {
+		if a.Epochs[k].Welfare != b.Epochs[k].Welfare {
+			t.Fatal("campaign not deterministic")
+		}
+	}
+}
+
+func TestDriftRespectsTableIIBounds(t *testing.T) {
+	base := baseGame(t)
+	res, err := Run(Config{Base: base, Epochs: 30, Seed: 17, ProfitDriftStd: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	// Run again with direct access to drift to check the clip.
+	cfg := cloneConfig(base)
+	src := newTestSource()
+	for e := 0; e < 50; e++ {
+		drift(cfg, src, Config{ProfitDriftStd: 0.8, DataGrowth: 0.05}.withDefaults())
+		for i, o := range cfg.Orgs {
+			if o.Profitability < 500 || o.Profitability > 2500 {
+				t.Fatalf("epoch %d org %d: p=%v outside Table II range", e, i, o.Profitability)
+			}
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("epoch %d: drifted config invalid: %v", e, err)
+		}
+	}
+}
+
+func newTestSource() *randx.Source { return randx.New(99) }

@@ -1,0 +1,365 @@
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Chain errors callers can match with errors.Is.
+var (
+	ErrBadNonce            = errors.New("chain: bad nonce")
+	ErrInsufficientBalance = errors.New("chain: insufficient balance")
+	ErrBrokenLink          = errors.New("chain: broken block link")
+	ErrBadSeal             = errors.New("chain: invalid authority seal")
+	ErrBadStateRoot        = errors.New("chain: state root mismatch")
+)
+
+// Receipt reports the outcome of one transaction inside a block.
+type Receipt struct {
+	TxHash string `json:"txHash"`
+	Height uint64 `json:"height"`
+	OK     bool   `json:"ok"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Block is a PoA-sealed batch of transactions.
+type Block struct {
+	Height    uint64        `json:"height"`
+	PrevHash  string        `json:"prevHash"`
+	StateRoot string        `json:"stateRoot"`
+	TxRoot    string        `json:"txRoot"` // Merkle root of the tx hashes
+	Txs       []Transaction `json:"txs"`
+	Receipts  []Receipt     `json:"receipts"`
+	Sealer    []byte        `json:"sealer"` // authority public key
+	Seal      []byte        `json:"seal"`   // signature over the header hash
+}
+
+// headerPayload is what the authority signs.
+type headerPayload struct {
+	Height    uint64        `json:"height"`
+	PrevHash  string        `json:"prevHash"`
+	StateRoot string        `json:"stateRoot"`
+	TxRoot    string        `json:"txRoot"`
+	Txs       []Transaction `json:"txs"`
+	Receipts  []Receipt     `json:"receipts"`
+	Sealer    []byte        `json:"sealer"`
+}
+
+// HeaderHash returns the digest the seal covers.
+func (b *Block) HeaderHash() (string, error) {
+	raw, err := json.Marshal(headerPayload{
+		Height: b.Height, PrevHash: b.PrevHash, StateRoot: b.StateRoot,
+		TxRoot: b.TxRoot, Txs: b.Txs, Receipts: b.Receipts, Sealer: b.Sealer,
+	})
+	if err != nil {
+		return "", fmt.Errorf("chain: marshal header: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// state is the full ledger state: balances, nonces and the contract.
+type state struct {
+	Balances map[Address]Wei    `json:"balances"`
+	Nonces   map[Address]uint64 `json:"nonces"`
+	Contract *Contract          `json:"contract"`
+}
+
+func (s *state) clone() (*state, error) {
+	raw, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	var out state
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	if out.Balances == nil {
+		out.Balances = map[Address]Wei{}
+	}
+	if out.Nonces == nil {
+		out.Nonces = map[Address]uint64{}
+	}
+	return &out, nil
+}
+
+func (s *state) root() (string, error) {
+	raw, err := json.Marshal(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Blockchain is a single-authority (PoA) chain hosting one TradeFL
+// contract. It is safe for concurrent use.
+type Blockchain struct {
+	mu        sync.RWMutex
+	authority *Account
+	blocks    []*Block
+	st        *state
+	pool      []Transaction
+}
+
+// GenesisAlloc funds accounts at genesis.
+type GenesisAlloc map[Address]Wei
+
+// NewBlockchain creates a chain with the deployed contract and the genesis
+// allocation, sealed by authority.
+func NewBlockchain(authority *Account, params ContractParams, alloc GenesisAlloc) (*Blockchain, error) {
+	contract, err := NewContract(params)
+	if err != nil {
+		return nil, err
+	}
+	st := &state{
+		Balances: map[Address]Wei{},
+		Nonces:   map[Address]uint64{},
+		Contract: contract,
+	}
+	for addr, amt := range alloc {
+		if amt < 0 {
+			return nil, fmt.Errorf("chain: negative genesis allocation for %s", addr)
+		}
+		st.Balances[addr] = amt
+	}
+	bc := &Blockchain{authority: authority, st: st}
+	root, err := st.root()
+	if err != nil {
+		return nil, err
+	}
+	genesis := &Block{Height: 0, PrevHash: "", StateRoot: root, TxRoot: MerkleRoot(nil), Sealer: authority.PublicKey()}
+	if err := bc.seal(genesis); err != nil {
+		return nil, err
+	}
+	bc.blocks = []*Block{genesis}
+	return bc, nil
+}
+
+func (bc *Blockchain) seal(b *Block) error {
+	h, err := b.HeaderHash()
+	if err != nil {
+		return err
+	}
+	b.Seal = bc.authority.Sign([]byte(h))
+	return nil
+}
+
+// SubmitTx validates a transaction and adds it to the mempool.
+func (bc *Blockchain) SubmitTx(tx Transaction) error {
+	if err := tx.Verify(); err != nil {
+		return err
+	}
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	// Nonce must follow the pending sequence (state nonce + queued txs).
+	expected := bc.st.Nonces[tx.From]
+	for _, p := range bc.pool {
+		if p.From == tx.From {
+			expected++
+		}
+	}
+	if tx.Nonce != expected {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, expected)
+	}
+	bc.pool = append(bc.pool, tx)
+	return nil
+}
+
+// PendingCount returns the mempool size.
+func (bc *Blockchain) PendingCount() int {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return len(bc.pool)
+}
+
+// SealBlock applies every pending transaction (in submission order) and
+// appends a sealed block. Failed transactions are included with an error
+// receipt; their state effects are rolled back individually.
+func (bc *Blockchain) SealBlock() (*Block, error) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	height := uint64(len(bc.blocks))
+	receipts := make([]Receipt, 0, len(bc.pool))
+	for _, tx := range bc.pool {
+		receipts = append(receipts, bc.applyTx(tx, height))
+	}
+	root, err := bc.st.root()
+	if err != nil {
+		return nil, err
+	}
+	prev, err := bc.blocks[len(bc.blocks)-1].HeaderHash()
+	if err != nil {
+		return nil, err
+	}
+	hashes, err := txHashes(bc.pool)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{
+		Height:    height,
+		PrevHash:  prev,
+		StateRoot: root,
+		TxRoot:    MerkleRoot(hashes),
+		Txs:       bc.pool,
+		Receipts:  receipts,
+		Sealer:    bc.authority.PublicKey(),
+	}
+	if err := bc.seal(b); err != nil {
+		return nil, err
+	}
+	bc.blocks = append(bc.blocks, b)
+	bc.pool = nil
+	return b, nil
+}
+
+// applyTx executes one transaction against the live state, rolling back on
+// contract failure. The nonce always advances for a pool-accepted tx.
+func (bc *Blockchain) applyTx(tx Transaction, height uint64) Receipt {
+	hash, err := tx.Hash()
+	if err != nil {
+		return Receipt{Height: height, OK: false, Error: err.Error()}
+	}
+	rcpt := Receipt{TxHash: hash, Height: height}
+	snapshot, err := bc.st.clone()
+	if err != nil {
+		rcpt.Error = err.Error()
+		return rcpt
+	}
+	if err := bc.execute(tx, height); err != nil {
+		bc.st = snapshot
+		bc.st.Nonces[tx.From]++ // failed txs still consume the nonce
+		rcpt.Error = err.Error()
+		return rcpt
+	}
+	rcpt.OK = true
+	return rcpt
+}
+
+func (bc *Blockchain) execute(tx Transaction, height uint64) error {
+	if bc.st.Nonces[tx.From] != tx.Nonce {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, bc.st.Nonces[tx.From])
+	}
+	if bc.st.Balances[tx.From] < tx.Value {
+		return fmt.Errorf("%w: %s has %d, needs %d", ErrInsufficientBalance, tx.From, bc.st.Balances[tx.From], tx.Value)
+	}
+	bc.st.Nonces[tx.From]++
+	bc.st.Balances[tx.From] -= tx.Value
+	refund, err := bc.st.Contract.Apply(tx.From, tx.Fn, tx.Args, tx.Value, height)
+	if err != nil {
+		return err
+	}
+	if refund != 0 {
+		bc.st.Balances[tx.From] += refund
+	}
+	return nil
+}
+
+// Balance returns the on-ledger balance of addr.
+func (bc *Blockchain) Balance(addr Address) Wei {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return bc.st.Balances[addr]
+}
+
+// Nonce returns the next expected state nonce for addr.
+func (bc *Blockchain) Nonce(addr Address) uint64 {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return bc.st.Nonces[addr]
+}
+
+// Height returns the latest block height.
+func (bc *Blockchain) Height() uint64 {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return bc.blocks[len(bc.blocks)-1].Height
+}
+
+// BlockAt returns the block at the given height.
+func (bc *Blockchain) BlockAt(height uint64) (*Block, error) {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	if height >= uint64(len(bc.blocks)) {
+		return nil, fmt.Errorf("chain: no block at height %d", height)
+	}
+	return bc.blocks[height], nil
+}
+
+// ReceiptByHash scans the chain for the receipt of the given transaction;
+// it returns an error while the transaction is still unsealed.
+func (bc *Blockchain) ReceiptByHash(txHash string) (*Receipt, error) {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	for i := len(bc.blocks) - 1; i >= 0; i-- {
+		for _, r := range bc.blocks[i].Receipts {
+			if r.TxHash == txHash {
+				rcpt := r
+				return &rcpt, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("chain: no sealed receipt for tx %s", txHash)
+}
+
+// ContractView runs fn with read access to the contract state.
+func (bc *Blockchain) ContractView(fn func(*Contract) error) error {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return fn(bc.st.Contract)
+}
+
+// VerifyChain re-validates every link, seal, and transaction signature.
+// It is the traceability guarantee of Sec. III-F: any retroactive tampering
+// with recorded results breaks a hash or a signature.
+func (bc *Blockchain) VerifyChain() error {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	for i, b := range bc.blocks {
+		h, err := b.HeaderHash()
+		if err != nil {
+			return err
+		}
+		if !Verify(b.Sealer, []byte(h), b.Seal) {
+			return fmt.Errorf("%w at height %d", ErrBadSeal, b.Height)
+		}
+		if i > 0 {
+			prev, err := bc.blocks[i-1].HeaderHash()
+			if err != nil {
+				return err
+			}
+			if b.PrevHash != prev {
+				return fmt.Errorf("%w at height %d", ErrBrokenLink, b.Height)
+			}
+		}
+		for k := range b.Txs {
+			if err := b.Txs[k].Verify(); err != nil {
+				return fmt.Errorf("block %d tx %d: %w", b.Height, k, err)
+			}
+		}
+		hashes, err := txHashes(b.Txs)
+		if err != nil {
+			return err
+		}
+		if got := MerkleRoot(hashes); got != b.TxRoot {
+			return fmt.Errorf("chain: block %d tx root mismatch", b.Height)
+		}
+	}
+	return nil
+}
+
+// TamperBlockForTest mutates a past block's transaction value; only used by
+// tests to demonstrate that VerifyChain catches tampering.
+func (bc *Blockchain) TamperBlockForTest(height uint64, txIdx int) error {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if height >= uint64(len(bc.blocks)) || txIdx >= len(bc.blocks[height].Txs) {
+		return errors.New("chain: tamper target out of range")
+	}
+	bc.blocks[height].Txs[txIdx].Value += 1
+	return nil
+}

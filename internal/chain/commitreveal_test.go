@@ -1,0 +1,123 @@
+package chain
+
+import (
+	"testing"
+)
+
+// commitRevealSettlement drives the hardened lifecycle.
+func TestCommitRevealLifecycle(t *testing.T) {
+	f := newFixture(t, 3)
+	contribs := []Contribution{{D: 0.9, F: 5e9}, {D: 0.5, F: 4e9}, {D: 0.1, F: 3e9}}
+	salts := []string{"salt-a", "salt-b", "salt-c"}
+	for i, a := range f.accounts {
+		f.sendOK(t, a, FnDepositSubmit, nil, MinDeposit(f.params, i, 5e9))
+	}
+	// Commit phase.
+	for i, a := range f.accounts {
+		f.sendOK(t, a, FnContributionCommit, CommitArgs{Hash: CommitmentHash(contribs[i], salts[i])}, 0)
+	}
+	// Reveal phase.
+	for i, a := range f.accounts {
+		f.sendOK(t, a, FnContributionReveal, RevealArgs{Contribution: contribs[i], Salt: salts[i]}, 0)
+	}
+	f.sendOK(t, f.accounts[0], FnPayoffCalculate, nil, 0)
+	for _, a := range f.accounts {
+		f.sendOK(t, a, FnPayoffTransfer, nil, 0)
+	}
+	if err := f.bc.ContractView(func(c *Contract) error {
+		if !c.Settled {
+			t.Error("contract not settled after commit-reveal lifecycle")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.bc.VerifyChain(); err != nil {
+		t.Errorf("VerifyChain: %v", err)
+	}
+}
+
+func TestRevealBlockedUntilAllCommitted(t *testing.T) {
+	f := newFixture(t, 2)
+	c0 := Contribution{D: 0.5, F: 4e9}
+	for i, a := range f.accounts {
+		f.sendOK(t, a, FnDepositSubmit, nil, MinDeposit(f.params, i, 5e9))
+	}
+	f.sendOK(t, f.accounts[0], FnContributionCommit, CommitArgs{Hash: CommitmentHash(c0, "s")}, 0)
+	// Account 1 has not committed: the reveal must fail — no one can learn
+	// a revealed value before being bound.
+	f.send(t, f.accounts[0], FnContributionReveal, RevealArgs{Contribution: c0, Salt: "s"}, 0, false)
+}
+
+func TestRevealMustMatchCommitment(t *testing.T) {
+	f := newFixture(t, 2)
+	c0 := Contribution{D: 0.5, F: 4e9}
+	c1 := Contribution{D: 0.3, F: 3e9}
+	for i, a := range f.accounts {
+		f.sendOK(t, a, FnDepositSubmit, nil, MinDeposit(f.params, i, 5e9))
+	}
+	f.sendOK(t, f.accounts[0], FnContributionCommit, CommitArgs{Hash: CommitmentHash(c0, "s0")}, 0)
+	f.sendOK(t, f.accounts[1], FnContributionCommit, CommitArgs{Hash: CommitmentHash(c1, "s1")}, 0)
+	// Wrong contribution.
+	f.send(t, f.accounts[0], FnContributionReveal, RevealArgs{Contribution: c1, Salt: "s0"}, 0, false)
+	// Wrong salt.
+	f.send(t, f.accounts[0], FnContributionReveal, RevealArgs{Contribution: c0, Salt: "oops"}, 0, false)
+	// Correct reveal still accepted afterwards (failed reveals don't burn
+	// the commitment).
+	f.sendOK(t, f.accounts[0], FnContributionReveal, RevealArgs{Contribution: c0, Salt: "s0"}, 0)
+	// Double reveal fails.
+	f.send(t, f.accounts[0], FnContributionReveal, RevealArgs{Contribution: c0, Salt: "s0"}, 0, false)
+}
+
+func TestCommitValidation(t *testing.T) {
+	f := newFixture(t, 2)
+	f.sendOK(t, f.accounts[0], FnDepositSubmit, nil, 1000)
+	// Unregistered member.
+	f.send(t, f.accounts[1], FnContributionCommit, CommitArgs{Hash: CommitmentHash(Contribution{D: 1}, "x")}, 0, false)
+	// Malformed hash.
+	f.send(t, f.accounts[0], FnContributionCommit, CommitArgs{Hash: "zz"}, 0, false)
+	f.send(t, f.accounts[0], FnContributionCommit, CommitArgs{Hash: "0123"}, 0, false)
+	// Valid commit, then double commit fails.
+	f.sendOK(t, f.accounts[0], FnContributionCommit, CommitArgs{Hash: CommitmentHash(Contribution{D: 1, F: 3e9}, "x")}, 0)
+	f.send(t, f.accounts[0], FnContributionCommit, CommitArgs{Hash: CommitmentHash(Contribution{D: 1, F: 3e9}, "y")}, 0, false)
+}
+
+func TestModesCannotMix(t *testing.T) {
+	f := newFixture(t, 2)
+	c := Contribution{D: 0.5, F: 4e9}
+	for i, a := range f.accounts {
+		f.sendOK(t, a, FnDepositSubmit, nil, MinDeposit(f.params, i, 5e9))
+	}
+	// Commit then direct submit: rejected.
+	f.sendOK(t, f.accounts[0], FnContributionCommit, CommitArgs{Hash: CommitmentHash(c, "s")}, 0)
+	f.send(t, f.accounts[0], FnContributionSubmit, c, 0, false)
+	// Direct submit then commit: rejected.
+	f.sendOK(t, f.accounts[1], FnContributionSubmit, c, 0)
+	f.send(t, f.accounts[1], FnContributionCommit, CommitArgs{Hash: CommitmentHash(c, "s")}, 0, false)
+}
+
+func TestCommitmentHashProperties(t *testing.T) {
+	c := Contribution{D: 0.5, F: 4e9}
+	if CommitmentHash(c, "a") == CommitmentHash(c, "b") {
+		t.Error("salt does not blind the hash")
+	}
+	if CommitmentHash(c, "a") == CommitmentHash(Contribution{D: 0.500001, F: 4e9}, "a") {
+		t.Error("hash insensitive to d")
+	}
+	if len(CommitmentHash(c, "a")) != 64 {
+		t.Error("hash is not 64 hex chars")
+	}
+}
+
+func TestRevealRangeValidation(t *testing.T) {
+	f := newFixture(t, 2)
+	bad := Contribution{D: 1.5, F: 4e9}
+	for i, a := range f.accounts {
+		f.sendOK(t, a, FnDepositSubmit, nil, MinDeposit(f.params, i, 5e9))
+	}
+	f.sendOK(t, f.accounts[0], FnContributionCommit, CommitArgs{Hash: CommitmentHash(bad, "s")}, 0)
+	f.sendOK(t, f.accounts[1], FnContributionCommit, CommitArgs{Hash: CommitmentHash(bad, "s")}, 0)
+	// Even with a matching commitment, an out-of-range contribution is
+	// rejected at reveal time.
+	f.send(t, f.accounts[0], FnContributionReveal, RevealArgs{Contribution: bad, Salt: "s"}, 0, false)
+}

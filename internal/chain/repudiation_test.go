@@ -1,0 +1,170 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRepudiationResistance exercises the paper's core credibility claim
+// (Sec. III-F): once deposits are escrowed and contributions submitted, a
+// malicious organization cannot deny the agreed compensation. The loser
+// here simply refuses to interact after submitting — and the winners still
+// receive their full redistribution, funded by the escrowed bond.
+func TestRepudiationResistance(t *testing.T) {
+	f := newFixture(t, 3)
+	contribs := []Contribution{
+		{D: 0.9, F: 5e9},
+		{D: 0.6, F: 4e9},
+		{D: 0.05, F: 3e9}, // the would-be repudiator: owes compensation
+	}
+	for i, a := range f.accounts {
+		f.sendOK(t, a, FnDepositSubmit, nil, MinDeposit(f.params, i, 5e9))
+	}
+	for i, a := range f.accounts {
+		f.sendOK(t, a, FnContributionSubmit, contribs[i], 0)
+	}
+	// Any member can trigger calculation — the loser's cooperation is not
+	// needed from this point on.
+	f.sendOK(t, f.accounts[0], FnPayoffCalculate, nil, 0)
+
+	var payoffs []Wei
+	if err := f.bc.ContractView(func(c *Contract) error {
+		p, err := c.Payoffs()
+		payoffs = p
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if payoffs[2] >= 0 {
+		t.Fatalf("fixture broken: loser's payoff %d should be negative", payoffs[2])
+	}
+
+	// Winners settle; the loser never calls payoffTransfer.
+	start0 := f.bc.Balance(f.accounts[0].Address())
+	f.sendOK(t, f.accounts[0], FnPayoffTransfer, nil, 0)
+	f.sendOK(t, f.accounts[1], FnPayoffTransfer, nil, 0)
+	gained := f.bc.Balance(f.accounts[0].Address()) - start0
+	dep0 := MinDeposit(f.params, 0, 5e9)
+	if gained != dep0+payoffs[0] {
+		t.Errorf("winner received %d, want deposit %d + payoff %d", gained, dep0, payoffs[0])
+	}
+
+	// The loser's unclaimed balance stays escrowed in the contract; the
+	// record log still lets anyone reconstruct what it owes (arbitration).
+	f.sendOK(t, f.accounts[0], FnProfileRecord, nil, 0)
+	if err := f.bc.ContractView(func(c *Contract) error {
+		ms := c.MemberData[f.accounts[2].Address()]
+		if ms.Deposit+ms.Payoff <= 0 {
+			t.Errorf("loser's residual escrow %d should be positive (bond minus debt)", ms.Deposit+ms.Payoff)
+		}
+		if c.Settled {
+			t.Error("contract must not report settled while a member abstains")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.bc.VerifyChain(); err != nil {
+		t.Errorf("chain verification after partial settlement: %v", err)
+	}
+}
+
+// TestLateSettlementStillWorks: the abstaining member can settle later and
+// receives exactly its bond minus the compensation it owed.
+func TestLateSettlementStillWorks(t *testing.T) {
+	f := newFixture(t, 2)
+	contribs := []Contribution{{D: 0.9, F: 5e9}, {D: 0.1, F: 3e9}}
+	deps := make([]Wei, 2)
+	for i, a := range f.accounts {
+		deps[i] = MinDeposit(f.params, i, 5e9)
+		f.sendOK(t, a, FnDepositSubmit, nil, deps[i])
+	}
+	for i, a := range f.accounts {
+		f.sendOK(t, a, FnContributionSubmit, contribs[i], 0)
+	}
+	f.sendOK(t, f.accounts[0], FnPayoffCalculate, nil, 0)
+	var payoffs []Wei
+	if err := f.bc.ContractView(func(c *Contract) error {
+		p, err := c.Payoffs()
+		payoffs = p
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.sendOK(t, f.accounts[0], FnPayoffTransfer, nil, 0)
+	// Much later, the debtor settles too.
+	start := f.bc.Balance(f.accounts[1].Address())
+	f.sendOK(t, f.accounts[1], FnPayoffTransfer, nil, 0)
+	refund := f.bc.Balance(f.accounts[1].Address()) - start
+	if refund != deps[1]+payoffs[1] {
+		t.Errorf("late refund %d, want %d", refund, deps[1]+payoffs[1])
+	}
+	if err := f.bc.ContractView(func(c *Contract) error {
+		if !c.Settled {
+			t.Error("contract should be settled after everyone claimed")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArbitrationFromRecords shows the dispute path the paper describes:
+// the on-chain record log is sufficient to recompute every member's
+// entitlement independently of the live contract state.
+func TestArbitrationFromRecords(t *testing.T) {
+	f := newFixture(t, 3)
+	contribs := []Contribution{{D: 0.7, F: 5e9}, {D: 0.4, F: 4e9}, {D: 0.2, F: 3e9}}
+	runSettlement(t, f, contribs)
+	var records []ProfileEntry
+	if err := f.bc.ContractView(func(c *Contract) error {
+		records = c.SortedRecords()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("got %d records", len(records))
+	}
+	// Recompute Eq. (9) from the recorded contributions alone.
+	xs := make(map[Address]float64, 3)
+	for _, r := range records {
+		idx := -1
+		for i, m := range f.params.Members {
+			if m == r.Org {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			t.Fatalf("record for unknown org %s", r.Org)
+		}
+		xs[r.Org] = r.Contribution.D*f.params.DataBits[idx] + f.params.Lambda*r.Contribution.F
+	}
+	for _, r := range records {
+		idx := 0
+		for i, m := range f.params.Members {
+			if m == r.Org {
+				idx = i
+			}
+		}
+		var want float64
+		for j, m := range f.params.Members {
+			want += f.params.Gamma * f.params.Rho[idx][j] * (xs[r.Org] - xs[m])
+		}
+		if got := FromWei(r.Payoff); got-want > 1e-3 || want-got > 1e-3 {
+			t.Errorf("record payoff for %s = %v, recomputed %v", r.Org, got, want)
+		}
+	}
+}
+
+// TestBadNonceIsTypedError keeps the error contract stable for clients.
+func TestBadNonceIsTypedErrorRepudiation(t *testing.T) {
+	f := newFixture(t, 2)
+	tx, err := NewTransaction(f.accounts[0], 3, FnDepositSubmit, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.bc.SubmitTx(*tx); !errors.Is(err, ErrBadNonce) {
+		t.Errorf("err = %v, want ErrBadNonce", err)
+	}
+}

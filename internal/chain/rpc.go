@@ -1,0 +1,382 @@
+package chain
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// RPC method names exposed by the node, mirroring the Web3-style interface
+// the paper's prototype uses for "data interaction among organizations and
+// the smart contract".
+const (
+	MethodSubmitTx   = "tradefl_submitTransaction"
+	MethodSealBlock  = "tradefl_sealBlock"
+	MethodBalance    = "tradefl_getBalance"
+	MethodNonce      = "tradefl_getNonce"
+	MethodHeight     = "tradefl_blockHeight"
+	MethodGetBlock   = "tradefl_getBlock"
+	MethodPayoffs    = "tradefl_getPayoffs"
+	MethodRecords    = "tradefl_getRecords"
+	MethodVerify     = "tradefl_verifyChain"
+	MethodStatus     = "tradefl_contractStatus"
+	MethodMinDeposit = "tradefl_minDeposit"
+	MethodTxProof    = "tradefl_getTxProof"
+	MethodGetReceipt = "tradefl_getReceipt"
+)
+
+// rpcRequest is a JSON-RPC 2.0 request.
+type rpcRequest struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      int64           `json:"id"`
+	Method  string          `json:"method"`
+	Params  json.RawMessage `json:"params,omitempty"`
+}
+
+// rpcError is a JSON-RPC 2.0 error object.
+type rpcError struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// rpcResponse is a JSON-RPC 2.0 response.
+type rpcResponse struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      int64           `json:"id"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   *rpcError       `json:"error,omitempty"`
+}
+
+// ContractStatus summarizes the settlement progress for clients.
+type ContractStatus struct {
+	Members    int  `json:"members"`
+	Registered int  `json:"registered"`
+	Submitted  int  `json:"submitted"`
+	Calculated bool `json:"calculated"`
+	Settled    bool `json:"settled"`
+	Records    int  `json:"records"`
+}
+
+// Server exposes a Blockchain over JSON-RPC/HTTP.
+type Server struct {
+	bc   *Blockchain
+	http *http.Server
+	ln   net.Listener
+}
+
+// NewServer wraps the chain in an RPC server listening on addr
+// (e.g. "127.0.0.1:0"). Call Serve to start and Close to stop.
+func NewServer(bc *Blockchain, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("chain rpc: listen: %w", err)
+	}
+	s := &Server{bc: bc, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rpc", s.handle)
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve blocks serving requests until Close.
+func (s *Server) Serve() error {
+	err := s.http.Serve(s.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Close shuts the server down and waits for in-flight requests.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.http.Shutdown(ctx)
+}
+
+func writeRPC(w http.ResponseWriter, id int64, result any, rerr *rpcError) {
+	resp := rpcResponse{JSONRPC: "2.0", ID: id, Error: rerr}
+	if rerr == nil {
+		raw, err := json.Marshal(result)
+		if err != nil {
+			resp.Error = &rpcError{Code: -32603, Message: err.Error()}
+		} else {
+			resp.Result = raw
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// The connection is gone; nothing useful left to do.
+		return
+	}
+}
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req rpcRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeRPC(w, 0, nil, &rpcError{Code: -32700, Message: "parse error"})
+		return
+	}
+	result, err := s.dispatch(req.Method, req.Params)
+	if err != nil {
+		writeRPC(w, req.ID, nil, &rpcError{Code: -32000, Message: err.Error()})
+		return
+	}
+	writeRPC(w, req.ID, result, nil)
+}
+
+func (s *Server) dispatch(method string, params json.RawMessage) (any, error) {
+	switch method {
+	case MethodSubmitTx:
+		var tx Transaction
+		if err := json.Unmarshal(params, &tx); err != nil {
+			return nil, fmt.Errorf("bad tx: %w", err)
+		}
+		if err := s.bc.SubmitTx(tx); err != nil {
+			return nil, err
+		}
+		return true, nil
+	case MethodSealBlock:
+		return s.bc.SealBlock()
+	case MethodBalance:
+		var addr Address
+		if err := json.Unmarshal(params, &addr); err != nil {
+			return nil, err
+		}
+		return s.bc.Balance(addr), nil
+	case MethodNonce:
+		var addr Address
+		if err := json.Unmarshal(params, &addr); err != nil {
+			return nil, err
+		}
+		return s.bc.Nonce(addr), nil
+	case MethodHeight:
+		return s.bc.Height(), nil
+	case MethodGetBlock:
+		var height uint64
+		if err := json.Unmarshal(params, &height); err != nil {
+			return nil, err
+		}
+		return s.bc.BlockAt(height)
+	case MethodPayoffs:
+		var out []Wei
+		err := s.bc.ContractView(func(c *Contract) error {
+			p, err := c.Payoffs()
+			out = p
+			return err
+		})
+		return out, err
+	case MethodRecords:
+		var out []ProfileEntry
+		err := s.bc.ContractView(func(c *Contract) error {
+			out = c.SortedRecords()
+			return nil
+		})
+		return out, err
+	case MethodVerify:
+		if err := s.bc.VerifyChain(); err != nil {
+			return nil, err
+		}
+		return true, nil
+	case MethodStatus:
+		var st ContractStatus
+		err := s.bc.ContractView(func(c *Contract) error {
+			st.Members = len(c.Params.Members)
+			for _, m := range c.Params.Members {
+				ms := c.MemberData[m]
+				if ms.Registered {
+					st.Registered++
+				}
+				if ms.Submitted {
+					st.Submitted++
+				}
+			}
+			st.Calculated = c.Calculated
+			st.Settled = c.Settled
+			st.Records = len(c.Records)
+			return nil
+		})
+		return st, err
+	case MethodGetReceipt:
+		var txHash string
+		if err := json.Unmarshal(params, &txHash); err != nil {
+			return nil, err
+		}
+		return s.bc.ReceiptByHash(txHash)
+	case MethodTxProof:
+		var arg struct {
+			Height uint64 `json:"height"`
+			TxIdx  int    `json:"txIdx"`
+		}
+		if err := json.Unmarshal(params, &arg); err != nil {
+			return nil, err
+		}
+		return s.bc.TxProof(arg.Height, arg.TxIdx)
+	case MethodMinDeposit:
+		var arg struct {
+			Index int     `json:"index"`
+			FMax  float64 `json:"fMax"`
+		}
+		if err := json.Unmarshal(params, &arg); err != nil {
+			return nil, err
+		}
+		var out Wei
+		err := s.bc.ContractView(func(c *Contract) error {
+			if arg.Index < 0 || arg.Index >= len(c.Params.Members) {
+				return fmt.Errorf("index %d out of range", arg.Index)
+			}
+			out = MinDeposit(c.Params, arg.Index, arg.FMax)
+			return nil
+		})
+		return out, err
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+// Client is a Web3-style client for the node's RPC interface.
+type Client struct {
+	url  string
+	http *http.Client
+	id   int64
+}
+
+// NewClient targets the node at addr (host:port).
+func NewClient(addr string) *Client {
+	return &Client{
+		url:  "http://" + addr + "/rpc",
+		http: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Call invokes method with params, decoding the result into out (may be
+// nil to discard).
+func (c *Client) Call(method string, params, out any) error {
+	c.id++
+	var raw json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("chain rpc: marshal params: %w", err)
+		}
+		raw = b
+	}
+	reqBody, err := json.Marshal(rpcRequest{JSONRPC: "2.0", ID: c.id, Method: method, Params: raw})
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.url, "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return fmt.Errorf("chain rpc: %w", err)
+	}
+	defer resp.Body.Close()
+	var rpcResp rpcResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rpcResp); err != nil {
+		return fmt.Errorf("chain rpc: decode: %w", err)
+	}
+	if rpcResp.Error != nil {
+		return fmt.Errorf("chain rpc: %s", rpcResp.Error.Message)
+	}
+	if out != nil {
+		if err := json.Unmarshal(rpcResp.Result, out); err != nil {
+			return fmt.Errorf("chain rpc: decode result: %w", err)
+		}
+	}
+	return nil
+}
+
+// SubmitTx submits a signed transaction.
+func (c *Client) SubmitTx(tx *Transaction) error {
+	return c.Call(MethodSubmitTx, tx, nil)
+}
+
+// SealBlock asks the authority node to seal the pending pool.
+func (c *Client) SealBlock() (*Block, error) {
+	var b Block
+	if err := c.Call(MethodSealBlock, nil, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// Balance fetches an account balance.
+func (c *Client) Balance(addr Address) (Wei, error) {
+	var w Wei
+	err := c.Call(MethodBalance, addr, &w)
+	return w, err
+}
+
+// Nonce fetches the next state nonce for addr.
+func (c *Client) Nonce(addr Address) (uint64, error) {
+	var n uint64
+	err := c.Call(MethodNonce, addr, &n)
+	return n, err
+}
+
+// Status fetches the contract settlement status.
+func (c *Client) Status() (ContractStatus, error) {
+	var st ContractStatus
+	err := c.Call(MethodStatus, nil, &st)
+	return st, err
+}
+
+// Payoffs fetches the calculated redistribution.
+func (c *Client) Payoffs() ([]Wei, error) {
+	var out []Wei
+	err := c.Call(MethodPayoffs, nil, &out)
+	return out, err
+}
+
+// Records fetches the profileRecord log.
+func (c *Client) Records() ([]ProfileEntry, error) {
+	var out []ProfileEntry
+	err := c.Call(MethodRecords, nil, &out)
+	return out, err
+}
+
+// VerifyChain asks the node to re-validate its chain.
+func (c *Client) VerifyChain() error {
+	return c.Call(MethodVerify, nil, nil)
+}
+
+// Receipt fetches the sealed receipt of a transaction by hash, or an error
+// if no sealed block contains it yet. Clients running concurrently with
+// other submitters must use this (not the receipts of the block their own
+// SealBlock call returned) to learn their transaction's outcome: another
+// process's seal may have included it first.
+func (c *Client) Receipt(txHash string) (*Receipt, error) {
+	var r Receipt
+	if err := c.Call(MethodGetReceipt, txHash, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// TxProof fetches a Merkle inclusion proof for a sealed transaction; the
+// client can Verify it against the block header it holds.
+func (c *Client) TxProof(height uint64, txIdx int) (*MerkleProof, error) {
+	var proof MerkleProof
+	err := c.Call(MethodTxProof, map[string]any{"height": height, "txIdx": txIdx}, &proof)
+	if err != nil {
+		return nil, err
+	}
+	return &proof, nil
+}

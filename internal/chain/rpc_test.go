@@ -1,0 +1,291 @@
+package chain
+
+import (
+	"strings"
+	"testing"
+
+	"tradefl/internal/randx"
+)
+
+// rpcFixture runs a live server around a 2-member chain.
+func rpcFixture(t *testing.T) (*fixture, *Client) {
+	t.Helper()
+	f := newFixture(t, 2)
+	srv, err := NewServer(f.bc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		<-done
+	})
+	return f, NewClient(srv.Addr())
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	f, client := rpcFixture(t)
+	a0, a1 := f.accounts[0], f.accounts[1]
+
+	// depositSubmit via RPC for both members.
+	for i, acct := range []*Account{a0, a1} {
+		nonce, err := client.Nonce(acct.Address())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx, err := NewTransaction(acct, nonce, FnDepositSubmit, nil, MinDeposit(f.params, i, 5e9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	block, err := client.SealBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(block.Receipts) != 2 || !block.Receipts[0].OK || !block.Receipts[1].OK {
+		t.Fatalf("deposit receipts: %+v", block.Receipts)
+	}
+
+	// Status reflects registration.
+	st, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Registered != 2 || st.Members != 2 || st.Calculated {
+		t.Errorf("status = %+v", st)
+	}
+
+	// Submit contributions, calculate, transfer, record.
+	contribs := []Contribution{{D: 0.8, F: 5e9}, {D: 0.2, F: 3e9}}
+	for i, acct := range []*Account{a0, a1} {
+		nonce, err := client.Nonce(acct.Address())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx, err := NewTransaction(acct, nonce, FnContributionSubmit, contribs[i], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.SealBlock(); err != nil {
+		t.Fatal(err)
+	}
+	nonce, _ := client.Nonce(a0.Address())
+	tx, err := NewTransaction(a0, nonce, FnPayoffCalculate, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.SealBlock(); err != nil {
+		t.Fatal(err)
+	}
+
+	payoffs, err := client.Payoffs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payoffs) != 2 || payoffs[0] <= 0 || payoffs[0]+payoffs[1] != 0 {
+		t.Errorf("payoffs = %v, want antisymmetric with positive first", payoffs)
+	}
+
+	for _, acct := range []*Account{a0, a1} {
+		for _, fn := range []Function{FnPayoffTransfer, FnProfileRecord} {
+			nonce, err := client.Nonce(acct.Address())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tx, err := NewTransaction(acct, nonce, fn, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := client.SubmitTx(tx); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := client.SealBlock(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	records, err := client.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2", len(records))
+	}
+	if err := client.VerifyChain(); err != nil {
+		t.Errorf("VerifyChain over RPC: %v", err)
+	}
+	bal, err := client.Balance(a0.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal <= 1_000_000_000 {
+		t.Errorf("winner balance %d should exceed genesis allocation", bal)
+	}
+}
+
+func TestRPCRejectsInvalidTx(t *testing.T) {
+	f, client := rpcFixture(t)
+	tx, err := NewTransaction(f.accounts[0], 0, FnDepositSubmit, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Value = 999 // break the signature
+	if err := client.SubmitTx(tx); err == nil || !strings.Contains(err.Error(), "signature") {
+		t.Errorf("err = %v, want signature error", err)
+	}
+}
+
+func TestRPCUnknownMethod(t *testing.T) {
+	_, client := rpcFixture(t)
+	if err := client.Call("tradefl_doesNotExist", nil, nil); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestRPCMinDeposit(t *testing.T) {
+	_, client := rpcFixture(t)
+	var dep Wei
+	err := client.Call(MethodMinDeposit, map[string]any{"index": 0, "fMax": 5e9}, &dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep <= 0 {
+		t.Errorf("min deposit = %d, want positive", dep)
+	}
+	if err := client.Call(MethodMinDeposit, map[string]any{"index": 99, "fMax": 5e9}, &dep); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestRPCGetBlock(t *testing.T) {
+	f, client := rpcFixture(t)
+	f.sendOK(t, f.accounts[0], FnDepositSubmit, nil, 100)
+	var blk Block
+	if err := client.Call(MethodGetBlock, uint64(1), &blk); err != nil {
+		t.Fatal(err)
+	}
+	if blk.Height != 1 || len(blk.Txs) != 1 {
+		t.Errorf("block = %+v", blk)
+	}
+	var height uint64
+	if err := client.Call(MethodHeight, nil, &height); err != nil {
+		t.Fatal(err)
+	}
+	if height != 1 {
+		t.Errorf("height = %d, want 1", height)
+	}
+}
+
+func TestAccountDeterminism(t *testing.T) {
+	a1, err := NewAccount(randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := NewAccount(randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Address() != a2.Address() {
+		t.Error("same seed produced different accounts")
+	}
+	msg := []byte("hello")
+	if !Verify(a1.PublicKey(), msg, a1.Sign(msg)) {
+		t.Error("signature round-trip failed")
+	}
+	if Verify(a1.PublicKey(), []byte("tampered"), a1.Sign(msg)) {
+		t.Error("verify accepted wrong message")
+	}
+}
+
+func TestRPCTxProof(t *testing.T) {
+	f, client := rpcFixture(t)
+	f.sendOK(t, f.accounts[0], FnDepositSubmit, nil, 100)
+	proof, err := client.TxProof(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proof.Verify(); err != nil {
+		t.Errorf("RPC proof failed verification: %v", err)
+	}
+	// The proof's root must match the sealed block header fetched
+	// independently — the light-client check.
+	var blk Block
+	if err := client.Call(MethodGetBlock, uint64(1), &blk); err != nil {
+		t.Fatal(err)
+	}
+	if proof.Root != blk.TxRoot {
+		t.Errorf("proof root %s != header tx root %s", proof.Root, blk.TxRoot)
+	}
+	if _, err := client.TxProof(1, 5); err == nil {
+		t.Error("out-of-range proof accepted over RPC")
+	}
+}
+
+func TestRPCReceiptByHash(t *testing.T) {
+	f, client := rpcFixture(t)
+	tx, err := NewTransaction(f.accounts[0], 0, FnDepositSubmit, nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := tx.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unsealed: no receipt yet.
+	if _, err := client.Receipt(hash); err == nil {
+		t.Error("receipt found before sealing")
+	}
+	if err := client.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.SealBlock(); err != nil {
+		t.Fatal(err)
+	}
+	rcpt, err := client.Receipt(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rcpt.OK || rcpt.TxHash != hash {
+		t.Errorf("receipt = %+v", rcpt)
+	}
+	// Failed transactions report their error through the same path.
+	tx2, err := NewTransaction(f.accounts[0], 1, FnDepositSubmit, nil, 100) // double deposit
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash2, err := tx2.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SubmitTx(tx2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.SealBlock(); err != nil {
+		t.Fatal(err)
+	}
+	rcpt2, err := client.Receipt(hash2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcpt2.OK || rcpt2.Error == "" {
+		t.Errorf("failed tx receipt = %+v", rcpt2)
+	}
+}

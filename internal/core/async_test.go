@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRunWithAsyncTraining(t *testing.T) {
+	m := mechanism(t, 7)
+	res, err := m.Run(context.Background(), Options{
+		Train:       true,
+		Async:       true,
+		Rounds:      8,
+		LocalEpochs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Training == nil {
+		t.Fatal("no training result")
+	}
+	if len(res.Training.History) != 8 {
+		t.Errorf("history has %d evaluations, want 8", len(res.Training.History))
+	}
+	if res.Training.FinalAccuracy <= 0.1 {
+		t.Errorf("async-trained accuracy %v at chance", res.Training.FinalAccuracy)
+	}
+	if res.Training.FinalLoss >= res.Training.History[0].Loss {
+		t.Errorf("async loss did not improve: %v -> %v",
+			res.Training.History[0].Loss, res.Training.FinalLoss)
+	}
+}
+
+func TestRunWithPersonalization(t *testing.T) {
+	m := mechanism(t, 7)
+	base, err := m.Run(context.Background(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := *m.Config()
+	cfg.Personal.Alpha = 0.5
+	cfg.Personal.LocalBoost = 2
+	pm, err := New(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := pm.Run(context.Background(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pres.Nash.IsNash {
+		t.Errorf("personalized equilibrium not Nash: %v", pres.Nash)
+	}
+	// Personalization must reduce the equilibrium coopetition damage.
+	baseDamage := m.Config().TotalDamage(base.Profile)
+	persDamage := cfg.TotalDamage(pres.Profile)
+	if persDamage >= baseDamage {
+		t.Errorf("personalized damage %v not below base %v", persDamage, baseDamage)
+	}
+	// CGBD must refuse personalized games with a clear error.
+	if _, err := pm.Run(context.Background(), Options{Solver: SolverCGBD}); err == nil {
+		t.Error("CGBD accepted a personalized game")
+	}
+}

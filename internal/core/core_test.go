@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"tradefl/internal/baselines"
+	"tradefl/internal/game"
+)
+
+func mechanism(t *testing.T, seed int64) *Mechanism {
+	t.Helper()
+	cfg, err := game.DefaultConfig(game.GenOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg, err := game.DefaultConfig(game.GenOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Accuracy = nil
+	if _, err := New(cfg); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestRunDBRBasic(t *testing.T) {
+	m := mechanism(t, 7)
+	res, err := m.Run(context.Background(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Nash.IsNash {
+		t.Errorf("result not Nash: %v", res.Nash)
+	}
+	if len(res.Payoffs) != m.Config().N() {
+		t.Errorf("payoffs length %d", len(res.Payoffs))
+	}
+	var sum float64
+	for _, v := range res.Payoffs {
+		sum += v
+	}
+	if math.Abs(sum-res.SocialWelfare) > 1e-6 {
+		t.Errorf("welfare %v != payoff sum %v", res.SocialWelfare, sum)
+	}
+	if res.Settlement != nil || res.Training != nil {
+		t.Error("unexpected settlement/training in default run")
+	}
+}
+
+func TestRunSolversAgreeOnPotential(t *testing.T) {
+	m := mechanism(t, 7)
+	ctx := context.Background()
+	a, err := m.Run(ctx, Options{Solver: SolverDBR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Run(ctx, Options{Solver: SolverCGBD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Run(ctx, Options{Solver: SolverDistributedDBR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Potential < a.Potential-1e-4 {
+		t.Errorf("CGBD potential %v below DBR %v", b.Potential, a.Potential)
+	}
+	if math.Abs(c.Potential-a.Potential) > 1e-6 {
+		t.Errorf("distributed DBR potential %v != local %v", c.Potential, a.Potential)
+	}
+}
+
+func TestRunUnknownSolver(t *testing.T) {
+	m := mechanism(t, 7)
+	if _, err := m.Run(context.Background(), Options{Solver: Solver(99)}); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}
+
+func TestRunWithSettlement(t *testing.T) {
+	m := mechanism(t, 7)
+	res, err := m.Run(context.Background(), Options{Settle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Settlement
+	if s == nil {
+		t.Fatal("no settlement report")
+	}
+	if !s.Verified {
+		t.Error("chain not verified")
+	}
+	if s.Records != m.Config().N() {
+		t.Errorf("records = %d, want %d", s.Records, m.Config().N())
+	}
+	// Executed transfers match the game's R_i and sum to ~zero.
+	var sum float64
+	for i, tr := range s.Transfers {
+		want := m.Config().Redistribution(i, res.Profile)
+		if math.Abs(tr-want) > 1e-2*math.Max(1, math.Abs(want)) {
+			t.Errorf("transfer[%d] = %v, want %v", i, tr, want)
+		}
+		sum += tr
+	}
+	if math.Abs(sum) > 1e-6 {
+		t.Errorf("transfers sum to %v, want 0 (budget balance)", sum)
+	}
+	if s.BlockHeight == 0 {
+		t.Error("no blocks sealed")
+	}
+}
+
+func TestRunWithTraining(t *testing.T) {
+	m := mechanism(t, 7)
+	res, err := m.Run(context.Background(), Options{
+		Train:       true,
+		Rounds:      5,
+		LocalEpochs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Training
+	if tr == nil {
+		t.Fatal("no training result")
+	}
+	if len(tr.History) != 5 {
+		t.Errorf("history has %d rounds, want 5", len(tr.History))
+	}
+	if tr.FinalAccuracy <= 0.1 {
+		t.Errorf("trained accuracy %v at chance level", tr.FinalAccuracy)
+	}
+}
+
+func TestRunTrainingUnknownWorkload(t *testing.T) {
+	m := mechanism(t, 7)
+	if _, err := m.Run(context.Background(), Options{Train: true, TrainDataset: "imagenet"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := m.Run(context.Background(), Options{Train: true, TrainArch: "vgg"}); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}
+
+func TestCompareSchemesComplete(t *testing.T) {
+	m := mechanism(t, 7)
+	out, err := m.CompareSchemes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range baselines.AllSchemes() {
+		o, ok := out[s]
+		if !ok {
+			t.Errorf("missing scheme %s", s)
+			continue
+		}
+		if len(o.Profile) != m.Config().N() {
+			t.Errorf("%s: profile length %d", s, len(o.Profile))
+		}
+	}
+	// Headline orderings (Fig. 6 / Fig. 12).
+	cfg := m.Config()
+	if cfg.SocialWelfare(out[baselines.SchemeDBR].Profile) <= cfg.SocialWelfare(out[baselines.SchemeWPR].Profile) {
+		t.Error("DBR welfare not above WPR")
+	}
+	if out[baselines.SchemeDBR].TotalData() <= out[baselines.SchemeGCA].TotalData() {
+		t.Error("DBR data not above GCA")
+	}
+}

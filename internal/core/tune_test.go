@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"tradefl/internal/dbr"
+	"tradefl/internal/game"
+)
+
+func TestTuneGammaFindsInteriorPeak(t *testing.T) {
+	m := mechanism(t, 7)
+	res, err := m.TuneGamma(TuneOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gamma <= 1e-10 || res.Gamma >= 2e-7 {
+		t.Errorf("γ* = %v at the search boundary", res.Gamma)
+	}
+	// γ* must beat both endpoints of the sweep (non-monotonicity, Fig. 7).
+	first, last := res.Probes[0], res.Probes[len(res.Probes)-1]
+	if res.Welfare <= first.Welfare || res.Welfare <= last.Welfare {
+		t.Errorf("peak welfare %v not above endpoints (%v, %v)",
+			res.Welfare, first.Welfare, last.Welfare)
+	}
+	// γ* should be near the calibrated default (same order of magnitude).
+	if res.Gamma < game.DefaultGamma/10 || res.Gamma > game.DefaultGamma*10 {
+		t.Errorf("γ* = %v far from calibrated default %v", res.Gamma, game.DefaultGamma)
+	}
+	// Probes sorted by γ.
+	for i := 1; i < len(res.Probes); i++ {
+		if res.Probes[i].Gamma < res.Probes[i-1].Gamma {
+			t.Fatal("probes not sorted")
+		}
+	}
+	// The mechanism's config must be unchanged.
+	if m.Config().Gamma != game.DefaultGamma {
+		t.Error("TuneGamma mutated the config")
+	}
+}
+
+func TestTuneGammaValidation(t *testing.T) {
+	m := mechanism(t, 7)
+	if _, err := m.TuneGamma(TuneOptions{Lo: 1e-8, Hi: 1e-9}); err == nil {
+		t.Error("accepted Hi < Lo")
+	}
+	if _, err := m.TuneGamma(TuneOptions{Lo: -1, Hi: 1e-8}); err == nil {
+		t.Error("accepted negative Lo")
+	}
+}
+
+func TestEquilibriumAt(t *testing.T) {
+	m := mechanism(t, 7)
+	pLow, wLow, err := m.EquilibriumAt(0, dbr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pHigh, wHigh, err := m.EquilibriumAt(5e-8, dbr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dLow, dHigh float64
+	for i := range pLow {
+		dLow += pLow[i].D
+		dHigh += pHigh[i].D
+	}
+	if dHigh <= dLow {
+		t.Errorf("higher γ should draw more data: %v vs %v", dHigh, dLow)
+	}
+	if wLow <= 0 || wHigh <= 0 {
+		t.Errorf("welfare non-positive: %v, %v", wLow, wHigh)
+	}
+}

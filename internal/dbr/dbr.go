@@ -1,0 +1,143 @@
+// Package dbr implements DBR, TradeFL's distributed best-response algorithm
+// (Algorithm 2, Sec. V-D).
+//
+// Each organization i repeatedly computes its best response (Definition 9):
+// the strategy π_i' = argmax C_i(π_i, π_-i) over its own feasible set. By
+// Theorem 1 the coopetition game is a weighted potential game, so iterated
+// best responses converge to a pure Nash equilibrium in finitely many
+// updates.
+//
+// The package offers a local engine (Solve) used by simulations and
+// benchmarks, and a distributed engine (engine.go / node.go) in which each
+// organization runs as an autonomous node exchanging strategy announcements
+// over a transport — no central parameter server, matching the paper's
+// deployment story.
+package dbr
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tradefl/internal/game"
+	"tradefl/internal/optimize"
+)
+
+// Options configures the local solver and the distributed protocol nodes.
+type Options struct {
+	// MaxRounds is H, the cap on best-response sweeps (default 200).
+	MaxRounds int
+	// Tol is the minimum payoff improvement that counts as a strategy
+	// change (default 1e-9); guards floating-point livelock.
+	Tol float64
+	// DTol is the golden-section tolerance on d (default 1e-7).
+	DTol float64
+	// TokenTimeout enables crash recovery in the distributed protocol:
+	// a node that forwarded the token and hears nothing for this long
+	// re-forwards it, skipping unreachable peers. Zero disables recovery
+	// (used by the in-process engine, where peers cannot crash).
+	TokenTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 200
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-9
+	}
+	if o.DTol == 0 {
+		o.DTol = 1e-7
+	}
+	return o
+}
+
+// Result reports the equilibrium and the convergence traces of Algorithm 2.
+type Result struct {
+	// Profile is the converged strategy profile π^NE.
+	Profile game.Profile
+	// Rounds is the number of completed sweeps.
+	Rounds int
+	// Converged is true when a full sweep produced no strategy change.
+	Converged bool
+	// PotentialTrace records U(π) after every sweep (Fig. 4).
+	PotentialTrace []float64
+	// PayoffTrace records every organization's payoff after every sweep
+	// (Fig. 5): PayoffTrace[t][i] = C_i after sweep t.
+	PayoffTrace [][]float64
+}
+
+// BestResponse computes organization i's best response to π_-i
+// (Definition 9, problem (24)): for every CPU level it maximizes the
+// payoff over the feasible data interval (concave in d_i, solved by
+// golden-section search) and returns the best (strategy, payoff) pair.
+// ok is false when no CPU level admits a feasible d.
+func BestResponse(cfg *game.Config, p game.Profile, i int, dTol float64) (game.Strategy, float64, bool) {
+	if dTol <= 0 {
+		dTol = 1e-7
+	}
+	work := p.Clone()
+	bestVal := math.Inf(-1)
+	var best game.Strategy
+	found := false
+	for _, f := range cfg.Orgs[i].CPULevels {
+		lo, hi, feasible := cfg.FeasibleD(i, f)
+		if !feasible {
+			continue
+		}
+		d, val := optimize.GoldenSection(func(d float64) float64 {
+			work[i] = game.Strategy{D: d, F: f}
+			return cfg.Payoff(i, work)
+		}, lo, hi, dTol)
+		if val > bestVal {
+			bestVal = val
+			best = game.Strategy{D: d, F: f}
+			found = true
+		}
+	}
+	work[i] = p[i]
+	return best, bestVal, found
+}
+
+// Solve runs Algorithm 2 from the paper's initial profile
+// (d_i = D_min, f_i = F^(m)) unless a non-nil start is given.
+func Solve(cfg *game.Config, start game.Profile, opts Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("dbr: %w", err)
+	}
+	opts = opts.withDefaults()
+	p := start
+	if p == nil {
+		p = cfg.MinimalProfile()
+	} else {
+		p = p.Clone()
+	}
+	if err := cfg.ValidProfile(p); err != nil {
+		return nil, fmt.Errorf("dbr: start profile: %w", err)
+	}
+
+	res := &Result{}
+	for t := 0; t < opts.MaxRounds; t++ {
+		res.Rounds = t + 1
+		changed := false
+		for i := range cfg.Orgs {
+			cur := cfg.Payoff(i, p)
+			next, val, ok := BestResponse(cfg, p, i, opts.DTol)
+			if !ok {
+				continue
+			}
+			if val > cur+opts.Tol {
+				p[i] = next
+				changed = true
+			}
+		}
+		res.PotentialTrace = append(res.PotentialTrace, cfg.Potential(p))
+		res.PayoffTrace = append(res.PayoffTrace, cfg.Payoffs(p))
+		if !changed {
+			res.Converged = true
+			break
+		}
+	}
+	res.Profile = p
+	return res, nil
+}

@@ -1,0 +1,309 @@
+package dbr
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tradefl/internal/game"
+	"tradefl/internal/transport"
+)
+
+// Protocol message types of the distributed DBR token ring.
+const (
+	// MsgToken carries the current strategy profile around the ring; the
+	// holder best-responds for its own index and forwards.
+	MsgToken = "dbr.token"
+	// MsgDone announces convergence with the final profile.
+	MsgDone = "dbr.done"
+)
+
+// TokenPayload is the body of a MsgToken message.
+type TokenPayload struct {
+	// Round counts completed ring passes.
+	Round int `json:"round"`
+	// Seq increases on every hop; nodes ignore tokens whose Seq is not
+	// larger than the last one they processed, which makes the crash-
+	// recovery resend (at-least-once delivery) idempotent.
+	Seq int64 `json:"seq"`
+	// Profile is the latest announced strategy of every organization.
+	Profile []game.Strategy `json:"profile"`
+	// Unchanged counts consecutive ring positions that kept their strategy
+	// (including positions skipped as unreachable); the ring terminates
+	// when it reaches N — a full silent pass.
+	Unchanged int `json:"unchanged"`
+}
+
+// DonePayload is the body of a MsgDone message.
+type DonePayload struct {
+	Profile []game.Strategy `json:"profile"`
+	Rounds  int             `json:"rounds"`
+}
+
+// Node is one organization in the distributed DBR protocol. Every node
+// holds the public game parameters (organizations' profiles, ρ, γ — all
+// common knowledge in the mechanism) but decides only its own strategy.
+//
+// Fault model: with Options.TokenTimeout > 0 the ring tolerates crash
+// faults. Forwarding skips unreachable peers (their last announced strategy
+// stays frozen in the token), and the last forwarder re-sends the token if
+// it hears nothing for the timeout — so a receiver crashing after or before
+// processing cannot stall the ring. A false crash suspicion can briefly put
+// two tokens in flight; sequence-number deduplication keeps best responses
+// idempotent and either token still terminates only after a full silent
+// pass.
+type Node struct {
+	cfg   *game.Config
+	index int
+	tr    transport.Transport
+	peers []string // peer transport names, indexed like cfg.Orgs
+	opts  Options
+
+	lastProcessedSeq int64
+	// lastSent remembers the most recent forwarded token for resend.
+	lastSent *sentToken
+}
+
+// sentToken records a forwarded token and the ring offset it reached.
+type sentToken struct {
+	tok TokenPayload
+	// step is the ring offset (from this node) of the peer that accepted
+	// the forward; resends start after it.
+	step int
+}
+
+// NewNode creates the node for organization index, communicating over tr.
+// peers[i] must name organization i's endpoint (peers[index] = own name).
+func NewNode(cfg *game.Config, index int, tr transport.Transport, peers []string, opts Options) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("dbr node: %w", err)
+	}
+	if index < 0 || index >= cfg.N() {
+		return nil, fmt.Errorf("dbr node: index %d out of range", index)
+	}
+	if len(peers) != cfg.N() {
+		return nil, fmt.Errorf("dbr node: %d peers for %d organizations", len(peers), cfg.N())
+	}
+	return &Node{cfg: cfg, index: index, tr: tr, peers: peers, opts: opts.withDefaults()}, nil
+}
+
+// Start injects the initial token; call it on exactly one node (by
+// convention, node 0) after all nodes are running.
+func (n *Node) Start() error {
+	start := n.cfg.MinimalProfile()
+	payload, err := json.Marshal(TokenPayload{Profile: start, Seq: 1})
+	if err != nil {
+		return err
+	}
+	return n.tr.Send(n.tr.Name(), transport.Message{Type: MsgToken, Payload: payload})
+}
+
+// Run processes protocol messages until convergence or context
+// cancellation, returning the agreed equilibrium profile.
+func (n *Node) Run(ctx context.Context) (game.Profile, error) {
+	for {
+		var timeout <-chan time.Time
+		var timer *time.Timer
+		if n.opts.TokenTimeout > 0 && n.lastSent != nil {
+			timer = time.NewTimer(n.opts.TokenTimeout)
+			timeout = timer.C
+		}
+		stop := func() {
+			if timer != nil {
+				timer.Stop()
+			}
+		}
+		select {
+		case <-ctx.Done():
+			stop()
+			return nil, ctx.Err()
+		case <-timeout:
+			// Nothing heard since our last forward: suspect the receiver
+			// crashed and re-forward past it.
+			done, profile, err := n.resendToken()
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				return profile, nil
+			}
+		case msg, ok := <-n.tr.Receive():
+			stop()
+			if !ok {
+				return nil, errors.New("dbr node: transport closed")
+			}
+			switch msg.Type {
+			case MsgToken:
+				var tok TokenPayload
+				if err := json.Unmarshal(msg.Payload, &tok); err != nil {
+					return nil, fmt.Errorf("dbr node: bad token: %w", err)
+				}
+				if tok.Seq <= n.lastProcessedSeq {
+					continue // duplicate from a recovery resend
+				}
+				done, profile, err := n.handleToken(tok)
+				if err != nil {
+					return nil, err
+				}
+				if done {
+					return profile, nil
+				}
+			case MsgDone:
+				var d DonePayload
+				if err := json.Unmarshal(msg.Payload, &d); err != nil {
+					return nil, fmt.Errorf("dbr node: bad done: %w", err)
+				}
+				return game.Profile(d.Profile), nil
+			}
+		}
+	}
+}
+
+// handleToken performs this node's best response and forwards the token,
+// or broadcasts done on convergence.
+func (n *Node) handleToken(tok TokenPayload) (bool, game.Profile, error) {
+	if len(tok.Profile) != n.cfg.N() {
+		return false, nil, fmt.Errorf("dbr node: token profile has %d entries, want %d", len(tok.Profile), n.cfg.N())
+	}
+	n.lastProcessedSeq = tok.Seq
+	profile := game.Profile(tok.Profile)
+	cur := n.cfg.Payoff(n.index, profile)
+	next, val, ok := BestResponse(n.cfg, profile, n.index, n.opts.DTol)
+	if ok && val > cur+n.opts.Tol {
+		profile[n.index] = next
+		tok.Unchanged = 0
+	} else {
+		tok.Unchanged++
+	}
+	tok.Profile = profile
+	return n.forwardToken(tok, 1)
+}
+
+// resendToken re-forwards the last sent token, starting after the peer the
+// previous attempt reached.
+func (n *Node) resendToken() (bool, game.Profile, error) {
+	sent := n.lastSent
+	if sent == nil {
+		return false, nil, nil
+	}
+	return n.forwardToken(sent.tok, sent.step+1)
+}
+
+// forwardToken walks the ring starting at the given offset from this node,
+// skipping unreachable peers (each skip counts as an unchanged position),
+// and broadcasts done when the token shows a full silent pass, the round
+// budget is exhausted, or every other peer is unreachable.
+func (n *Node) forwardToken(tok TokenPayload, fromStep int) (bool, game.Profile, error) {
+	size := n.cfg.N()
+	for step := fromStep; ; step++ {
+		if tok.Unchanged >= size || tok.Round >= n.opts.MaxRounds || step > size {
+			// Converged, budget exhausted, or nobody else reachable.
+			return true, game.Profile(tok.Profile), n.broadcastDone(tok)
+		}
+		target := (n.index + step) % size
+		if target == 0 {
+			tok.Round++
+			if tok.Round >= n.opts.MaxRounds {
+				return true, game.Profile(tok.Profile), n.broadcastDone(tok)
+			}
+		}
+		if target == n.index {
+			continue // never self-deliver during a walk
+		}
+		hop := tok
+		hop.Seq = tok.Seq + int64(step)
+		payload, err := json.Marshal(hop)
+		if err != nil {
+			return false, nil, err
+		}
+		if err := n.tr.Send(n.peers[target], transport.Message{Type: MsgToken, Payload: payload}); err != nil {
+			// Peer unreachable: freeze its strategy and walk on.
+			tok.Unchanged++
+			continue
+		}
+		n.lastSent = &sentToken{tok: hop, step: step}
+		return false, nil, nil
+	}
+}
+
+// broadcastDone announces the final profile to every reachable peer.
+func (n *Node) broadcastDone(tok TokenPayload) error {
+	payload, err := json.Marshal(DonePayload{Profile: tok.Profile, Rounds: tok.Round})
+	if err != nil {
+		return err
+	}
+	for i, peer := range n.peers {
+		if i == n.index {
+			continue
+		}
+		// Unreachable peers are tolerated: they are presumed crashed.
+		_ = n.tr.Send(peer, transport.Message{Type: MsgDone, Payload: payload})
+	}
+	return nil
+}
+
+// SolveDistributed runs the full protocol in-process over an in-memory hub:
+// one goroutine per organization, token ring until convergence. It returns
+// the common equilibrium profile and verifies all nodes agreed.
+func SolveDistributed(ctx context.Context, cfg *game.Config, opts Options) (game.Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("dbr distributed: %w", err)
+	}
+	hub := transport.NewHub()
+	n := cfg.N()
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("org-%d", i)
+	}
+	nodes := make([]*Node, n)
+	trs := make([]transport.Transport, n)
+	for i := 0; i < n; i++ {
+		tr, err := hub.Endpoint(peers[i], n+2)
+		if err != nil {
+			return nil, err
+		}
+		trs[i] = tr
+		node, err := NewNode(cfg, i, tr, peers, opts)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = node
+	}
+	defer func() {
+		for _, tr := range trs {
+			_ = tr.Close()
+		}
+	}()
+
+	results := make([]game.Profile, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = nodes[i].Run(ctx)
+		}(i)
+	}
+	if err := nodes[0].Start(); err != nil {
+		return nil, err
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dbr distributed: node %d: %w", i, err)
+		}
+	}
+	// All nodes must have converged to the same profile.
+	for i := 1; i < n; i++ {
+		for k := range results[i] {
+			if results[i][k] != results[0][k] {
+				return nil, fmt.Errorf("dbr distributed: node %d disagrees at org %d", i, k)
+			}
+		}
+	}
+	return results[0], nil
+}

@@ -1,0 +1,160 @@
+package dbr
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"tradefl/internal/game"
+	"tradefl/internal/transport"
+)
+
+func TestSolveDistributedMatchesLocal(t *testing.T) {
+	cfg := defaultGame(t, 7)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	dist, err := SolveDistributed(ctx, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := Solve(cfg, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both are Nash equilibria found by round-robin best response from the
+	// same start; they must agree in potential (and, deterministically
+	// here, in profile).
+	if du := math.Abs(cfg.Potential(dist) - cfg.Potential(local.Profile)); du > 1e-6 {
+		t.Errorf("potential gap between distributed and local: %v", du)
+	}
+	rep := cfg.CheckNash(dist, 60, 1e-2)
+	if !rep.IsNash {
+		t.Errorf("distributed result not Nash: %v", rep)
+	}
+}
+
+func TestSolveDistributedSmallGame(t *testing.T) {
+	cfg, err := game.DefaultConfig(game.GenOptions{Seed: 5, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	p, err := SolveDistributed(ctx, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.ValidProfile(p); err != nil {
+		t.Errorf("invalid distributed profile: %v", err)
+	}
+}
+
+func TestSolveDistributedContextCancel(t *testing.T) {
+	cfg := defaultGame(t, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveDistributed(ctx, cfg, Options{}); err == nil {
+		t.Error("cancelled context should fail")
+	}
+}
+
+func TestSolveDistributedInvalidConfig(t *testing.T) {
+	cfg := defaultGame(t, 7)
+	cfg.Accuracy = nil
+	if _, err := SolveDistributed(context.Background(), cfg, Options{}); err == nil {
+		t.Error("accepted invalid config")
+	}
+}
+
+func TestNodeValidation(t *testing.T) {
+	cfg := defaultGame(t, 7)
+	hub := transport.NewHub()
+	tr, err := hub.Endpoint("x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := make([]string, cfg.N())
+	if _, err := NewNode(cfg, -1, tr, peers, Options{}); err == nil {
+		t.Error("accepted negative index")
+	}
+	if _, err := NewNode(cfg, 0, tr, peers[:2], Options{}); err == nil {
+		t.Error("accepted wrong peer count")
+	}
+	bad := *cfg
+	bad.Accuracy = nil
+	if _, err := NewNode(&bad, 0, tr, peers, Options{}); err == nil {
+		t.Error("accepted invalid config")
+	}
+}
+
+// TestDistributedOverTCP runs the full protocol across real TCP sockets,
+// one node per organization — the deployment mode of cmd/tradefl-node.
+func TestDistributedOverTCP(t *testing.T) {
+	cfg, err := game.DefaultConfig(game.GenOptions{Seed: 9, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.N()
+	names := make([]string, n)
+	tcp := make([]*transport.TCPNode, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("org-%d", i)
+		node, err := transport.NewTCPNode(names[i], "127.0.0.1:0", 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcp[i] = node
+		defer node.Close()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			tcp[i].RegisterPeer(names[j], tcp[j].Addr())
+		}
+	}
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		node, err := NewNode(cfg, i, tcp[i], names, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	results := make([]game.Profile, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = nodes[i].Run(ctx)
+		}(i)
+	}
+	if err := nodes[0].Start(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		for k := range results[i] {
+			if results[i][k] != results[0][k] {
+				t.Fatalf("node %d disagrees with node 0 at org %d", i, k)
+			}
+		}
+	}
+	local, err := Solve(cfg, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if du := math.Abs(cfg.Potential(results[0]) - cfg.Potential(local.Profile)); du > 1e-6 {
+		t.Errorf("TCP distributed result differs from local by %v in potential", du)
+	}
+}

@@ -1,0 +1,141 @@
+package dbr
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"tradefl/internal/game"
+	"tradefl/internal/transport"
+)
+
+// failNode builds a single protocol node wired to a hub for injection tests.
+func failNode(t *testing.T) (*Node, transport.Transport, transport.Transport, *game.Config) {
+	t.Helper()
+	cfg, err := game.DefaultConfig(game.GenOptions{Seed: 3, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := transport.NewHub()
+	peers := []string{"org-0", "org-1", "org-2"}
+	tr0, err := hub.Endpoint("org-0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attacker endpoint impersonating the rest of the ring.
+	atk, err := hub.Endpoint("org-1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Endpoint("org-2", 8); err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode(cfg, 0, tr0, peers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node, tr0, atk, cfg
+}
+
+func runNode(node *Node, d time.Duration) (game.Profile, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return node.Run(ctx)
+}
+
+func TestNodeRejectsMalformedToken(t *testing.T) {
+	node, _, atk, _ := failNode(t)
+	if err := atk.Send("org-0", transport.Message{Type: MsgToken, Payload: []byte("{broken")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runNode(node, 2*time.Second); err == nil {
+		t.Error("node accepted malformed token")
+	}
+}
+
+func TestNodeRejectsWrongProfileLength(t *testing.T) {
+	node, _, atk, _ := failNode(t)
+	payload, err := json.Marshal(TokenPayload{Profile: make([]game.Strategy, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.Send("org-0", transport.Message{Type: MsgToken, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runNode(node, 2*time.Second); err == nil {
+		t.Error("node accepted token with wrong profile length")
+	}
+}
+
+func TestNodeRejectsMalformedDone(t *testing.T) {
+	node, _, atk, _ := failNode(t)
+	if err := atk.Send("org-0", transport.Message{Type: MsgDone, Payload: []byte("42")}); err != nil {
+		t.Fatal(err)
+	}
+	// "42" decodes into DonePayload as a JSON type error.
+	if _, err := runNode(node, 2*time.Second); err == nil {
+		t.Error("node accepted malformed done message")
+	}
+}
+
+func TestNodeIgnoresUnknownMessageType(t *testing.T) {
+	node, _, atk, cfg := failNode(t)
+	if err := atk.Send("org-0", transport.Message{Type: "gossip", Payload: []byte("{}")}); err != nil {
+		t.Fatal(err)
+	}
+	// Then deliver a legitimate done so Run returns.
+	profile := cfg.MinimalProfile()
+	payload, err := json.Marshal(DonePayload{Profile: profile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.Send("org-0", transport.Message{Type: MsgDone, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := runNode(node, 2*time.Second)
+	if err != nil {
+		t.Fatalf("node did not survive unknown message: %v", err)
+	}
+	if len(got) != cfg.N() {
+		t.Errorf("profile length %d", len(got))
+	}
+}
+
+func TestNodeStopsOnClosedTransport(t *testing.T) {
+	node, tr0, _, _ := failNode(t)
+	if err := tr0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runNode(node, 2*time.Second); err == nil {
+		t.Error("node kept running on closed transport")
+	}
+}
+
+func TestNodeStopsOnContextCancel(t *testing.T) {
+	node, _, _, _ := failNode(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := node.Run(ctx); err == nil {
+		t.Error("node survived cancelled context")
+	}
+}
+
+func TestRoundBudgetTerminatesRing(t *testing.T) {
+	// With MaxRounds = 1 the ring must stop after one pass even though the
+	// strategies are still changing, returning a valid (if non-equilibrium)
+	// profile on every node.
+	cfg, err := game.DefaultConfig(game.GenOptions{Seed: 5, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	p, err := SolveDistributed(ctx, cfg, Options{MaxRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.ValidProfile(p); err != nil {
+		t.Errorf("round-budget profile invalid: %v", err)
+	}
+}

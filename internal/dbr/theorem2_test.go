@@ -1,0 +1,59 @@
+package dbr
+
+import (
+	"math"
+	"testing"
+
+	"tradefl/internal/game"
+)
+
+// TestTheorem2Properties checks the three mechanism properties of
+// Theorem 2 at the DBR equilibrium across several random instances:
+// individual rationality, budget balance, and computational efficiency
+// (bounded rounds).
+func TestTheorem2Properties(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		cfg, err := game.DefaultConfig(game.GenOptions{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Solve(cfg, nil, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Individual rationality (Definition 3): C_i(π^NE) ≥ 0.
+		if ok, worst, org := cfg.CheckIndividualRationality(res.Profile); !ok {
+			t.Errorf("seed %d: IR violated: org %d earns %v", seed, org, worst)
+		}
+		// Budget balance (Definition 5): Σ R_i = 0.
+		if bb := cfg.CheckBudgetBalance(res.Profile); math.Abs(bb) > 1e-6 {
+			t.Errorf("seed %d: ΣR_i = %v", seed, bb)
+		}
+		// Computational efficiency (Definition 4): the dynamics terminate
+		// within the polynomial budget, far below the cap.
+		if !res.Converged || res.Rounds > 50 {
+			t.Errorf("seed %d: converged=%v in %d rounds", seed, res.Converged, res.Rounds)
+		}
+	}
+}
+
+// TestEquilibriumBeatsMinimalParticipation verifies the IR argument of
+// Theorem 2's proof: each organization's equilibrium payoff is at least its
+// payoff from minimal participation against the same opponents.
+func TestEquilibriumBeatsMinimalParticipation(t *testing.T) {
+	cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(cfg, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfg.Orgs {
+		dev := res.Profile.Clone()
+		dev[i] = game.Strategy{D: cfg.DMin, F: cfg.Orgs[i].CPULevels[len(cfg.Orgs[i].CPULevels)-1]}
+		if ne, min := cfg.Payoff(i, res.Profile), cfg.Payoff(i, dev); ne < min-1e-6 {
+			t.Errorf("org %d: NE payoff %v below minimal-participation payoff %v", i, ne, min)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package experiments regenerates every table and figure of the TradeFL
+// evaluation (Sec. VI). Each generator returns a Figure — named series of
+// (x, y) points — that cmd/tradefl-sim renders as CSV and EXPERIMENTS.md
+// compares against the paper. Generators are deterministic in their seed.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	// Name labels the curve (e.g. a scheme or parameter value).
+	Name string `json:"name"`
+	// X and Y are the coordinates, index-aligned.
+	X []float64 `json:"x"`
+	Y []float64 `json:"y"`
+}
+
+// Figure is a reproducible experiment output.
+type Figure struct {
+	// ID is the paper's figure/table number, e.g. "fig4".
+	ID string `json:"id"`
+	// Title describes the experiment.
+	Title string `json:"title"`
+	// XLabel and YLabel name the axes.
+	XLabel string `json:"xLabel"`
+	YLabel string `json:"yLabel"`
+	// Series holds the curves.
+	Series []Series `json:"series"`
+	// Notes carries headline observations (e.g. measured γ*, ratios).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// CSV renders the figure as comma-separated values with one block per
+// series, suitable for any plotting tool.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "# x=%s y=%s\n", f.XLabel, f.YLabel)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "# note: %s\n", n)
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "series,%s\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, "%g,%g\n", s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// SeriesByName returns the named series, or nil.
+func (f *Figure) SeriesByName(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Options configures experiment generation.
+type Options struct {
+	// Seed drives every random draw (default 7, the repository's
+	// reference instance).
+	Seed int64
+	// Quick trades resolution for speed: coarser sweeps, fewer FL rounds.
+	// Tests and benchmarks set it; the CLI default is full resolution.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	return o
+}
+
+// Registry maps experiment IDs to their generators.
+func Registry() map[string]func(Options) (*Figure, error) {
+	return map[string]func(Options) (*Figure, error){
+		"fig2":   Fig2DataAccuracy,
+		"fig4":   Fig4PotentialDynamics,
+		"fig5":   Fig5PayoffDynamics,
+		"fig6":   Fig6SocialWelfare,
+		"fig7":   Fig7GammaWelfareDBR,
+		"fig8":   Fig8GammaWelfareSchemes,
+		"fig9":   Fig9GammaDamage,
+		"fig10":  Fig10GammaMuWelfare,
+		"fig11":  Fig11MuOverheadWelfare,
+		"fig12":  Fig12DataContribution,
+		"fig13":  Fig13TrainingLoss,
+		"fig14":  Fig14TrainingLossSecond,
+		"fig15":  Fig15AccuracyBySchemes,
+		"table1": Table1ContractFunctions,
+		"table2": Table2Parameters,
+		// Extensions beyond the paper.
+		"ext-personalization": ExtPersonalization,
+		"ext-campaign":        ExtCampaign,
+	}
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run generates the experiment with the given id.
+func Run(id string, opts Options) (*Figure, error) {
+	gen, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return gen(opts)
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+func TestExtPersonalizationTradeoffs(t *testing.T) {
+	fig := quick(t, "ext-personalization")
+	damage := fig.SeriesByName("damage")
+	data := fig.SeriesByName("data")
+	welfare := fig.SeriesByName("welfare")
+	if damage == nil || data == nil || welfare == nil {
+		t.Fatal("missing series")
+	}
+	// Damage must fall monotonically with α: only the (1−α) share of the
+	// model reaches competitors.
+	for i := 1; i < len(damage.Y); i++ {
+		if damage.Y[i] > damage.Y[i-1]+1e-9 {
+			t.Errorf("damage rose at α=%v: %v", damage.X[i], damage.Y)
+			break
+		}
+	}
+	// The private return on own data weakly increases participation.
+	if data.Y[len(data.Y)-1] < data.Y[0]-1e-9 {
+		t.Errorf("data contribution fell under personalization: %v", data.Y)
+	}
+	// α = 0 must coincide with the base-model equilibrium welfare (fig6's
+	// DBR value on the same seed).
+	fig6, err := Run("fig6", Options{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbr := fig6.SeriesByName("DBR")
+	if dbr == nil {
+		t.Fatal("fig6 missing DBR")
+	}
+	if diff := welfare.Y[0] - dbr.Y[0]; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("α=0 welfare %v != base DBR welfare %v", welfare.Y[0], dbr.Y[0])
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the figure as a plain-text chart for terminals: one glyph
+// per series over a width×height grid, with axis ranges and a legend. It
+// exists so `tradefl-sim -plot` gives an immediate visual check without any
+// plotting toolchain.
+func (f *Figure) Plot(width, height int) string {
+	if width < 16 {
+		width = 64
+	}
+	if height < 4 {
+		height = 16
+	}
+	glyphs := []rune("*o+x#@%&")
+
+	// Global ranges across all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	var points int
+	for _, s := range f.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return fmt.Sprintf("%s: (no data)\n", f.ID)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			c := int(float64(width-1) * (s.X[i] - minX) / (maxX - minX))
+			r := height - 1 - int(float64(height-1)*(s.Y[i]-minY)/(maxY-minY))
+			if r >= 0 && r < height && c >= 0 && c < width {
+				// First-writer wins keeps overlapping curves readable.
+				if grid[r][c] == ' ' {
+					grid[r][c] = g
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	topLabel := fmt.Sprintf("%.4g", maxY)
+	botLabel := fmt.Sprintf("%.4g", minY)
+	pad := len(topLabel)
+	if len(botLabel) > pad {
+		pad = len(botLabel)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, topLabel)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", pad, botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", pad), width-len(fmt.Sprintf("%.4g", maxX)), fmt.Sprintf("%.4g", minX), fmt.Sprintf("%.4g", maxX))
+	fmt.Fprintf(&b, "x: %s   y: %s\n", f.XLabel, f.YLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}

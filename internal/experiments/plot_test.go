@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func plotFixture() *Figure {
+	return &Figure{
+		ID: "figP", Title: "Plot test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+			{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+		},
+		Notes: []string{"crossing curves"},
+	}
+}
+
+func TestPlotContainsStructure(t *testing.T) {
+	out := plotFixture().Plot(40, 10)
+	for _, want := range []string{
+		"figP: Plot test",
+		"x: x   y: y",
+		"* up",
+		"o down",
+		"note: crossing curves",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Both glyphs appear in the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series glyphs missing from grid")
+	}
+	// Axis labels carry the y range.
+	if !strings.Contains(out, "2") || !strings.Contains(out, "0") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestPlotHandlesDegenerateInput(t *testing.T) {
+	empty := &Figure{ID: "e", Series: []Series{{Name: "none"}}}
+	if out := empty.Plot(40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot output: %q", out)
+	}
+	flat := &Figure{
+		ID:     "f",
+		Series: []Series{{Name: "flat", X: []float64{1, 1}, Y: []float64{3, 3}}},
+	}
+	out := flat.Plot(40, 10)
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not rendered:\n%s", out)
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	out := plotFixture().Plot(1, 1)
+	if len(strings.Split(out, "\n")) < 10 {
+		t.Error("tiny dimensions not clamped to usable defaults")
+	}
+}
+
+func TestPlotPointCoverage(t *testing.T) {
+	// Every distinct point of a monotone series lands somewhere: count the
+	// glyph occurrences.
+	fig := &Figure{
+		ID: "g",
+		Series: []Series{{
+			Name: "line",
+			X:    []float64{0, 1, 2, 3, 4, 5, 6, 7},
+			Y:    []float64{0, 1, 2, 3, 4, 5, 6, 7},
+		}},
+	}
+	out := fig.Plot(64, 16)
+	if n := strings.Count(out, "*"); n < 8 {
+		t.Errorf("only %d of 8 points rendered", n)
+	}
+}

@@ -1,0 +1,185 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"tradefl/internal/fl/dataset"
+	"tradefl/internal/fl/model"
+)
+
+// Asynchronous federated training (footnote 2 of the paper: "TradeFL is
+// applicable to both synchronous and asynchronous scenarios. It focuses on
+// resource contribution without making assumptions about the asynchronicity
+// of the training process.").
+//
+// In the asynchronous mode each organization trains at its own cadence —
+// derived from its per-round wall-clock time — and the server merges each
+// update the moment it arrives, discounted by its staleness (the number of
+// server versions that elapsed since the organization pulled the model), a
+// FedAsync-style rule:
+//
+//	w ← (1−η_s)·w + η_s·w_i,   η_s = weight_i · 1/(1+staleness)^κ.
+
+// AsyncConfig extends Config with the asynchronous schedule.
+type AsyncConfig struct {
+	Config
+	// RoundTimes gives each organization's local round duration in
+	// arbitrary time units; faster organizations deliver more updates.
+	// Length must match Shards.
+	RoundTimes []float64
+	// Horizon is the simulated wall-clock length in the same units.
+	Horizon float64
+	// StalenessExponent is κ of the staleness discount (default 0.5).
+	StalenessExponent float64
+	// Evaluations is the number of evenly spaced test evaluations
+	// recorded over the horizon (default 10).
+	Evaluations int
+}
+
+// asyncEvent is one organization's scheduled update arrival.
+type asyncEvent struct {
+	at  float64
+	org int
+}
+
+// RunAsync executes asynchronous federated training and returns per-
+// evaluation metrics. The strategy surface TradeFL controls — how much
+// data each organization contributes — is identical to the synchronous
+// Run; only the aggregation discipline changes.
+func RunAsync(cfg AsyncConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.RoundTimes) != len(cfg.Shards) {
+		return nil, fmt.Errorf("fl async: %d round times for %d shards", len(cfg.RoundTimes), len(cfg.Shards))
+	}
+	for i, rt := range cfg.RoundTimes {
+		if rt <= 0 {
+			return nil, fmt.Errorf("fl async: round time %d must be positive, got %v", i, rt)
+		}
+	}
+	if cfg.Horizon <= 0 {
+		return nil, errors.New("fl async: horizon must be positive")
+	}
+	if cfg.StalenessExponent == 0 {
+		cfg.StalenessExponent = 0.5
+	}
+	if cfg.Evaluations <= 0 {
+		cfg.Evaluations = 10
+	}
+
+	global, err := model.NewForArch(cfg.Test.Dim(), cfg.Test.Classes, cfg.Arch, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	subsets := make([]*subsetState, len(cfg.Shards))
+	var weightSum float64
+	var totalSamples int
+	for i := range cfg.Shards {
+		sub, err := cfg.contributed(i)
+		if err != nil {
+			return nil, fmt.Errorf("org %d: %w", i, err)
+		}
+		if sub == nil {
+			continue
+		}
+		subsets[i] = &subsetState{data: sub, pulledVersion: 0, snapshot: global.Clone()}
+		weightSum += float64(sub.Len())
+		totalSamples += sub.Len()
+	}
+	if weightSum == 0 {
+		return nil, errors.New("fl: no organization contributes any data")
+	}
+
+	// Build the arrival schedule: org i delivers at k·RoundTimes[i].
+	var events []asyncEvent
+	for i, st := range subsets {
+		if st == nil {
+			continue
+		}
+		for at := cfg.RoundTimes[i]; at <= cfg.Horizon; at += cfg.RoundTimes[i] {
+			events = append(events, asyncEvent{at: at, org: i})
+		}
+	}
+	sortEvents(events)
+	if len(events) == 0 {
+		return nil, errors.New("fl async: horizon shorter than every round time")
+	}
+
+	res := &Result{TotalSamples: totalSamples}
+	evalEvery := cfg.Horizon / float64(cfg.Evaluations)
+	nextEval := evalEvery
+	version := 0
+	record := func(round int) error {
+		loss, err := global.Loss(cfg.Test)
+		if err != nil {
+			return err
+		}
+		acc, err := global.Accuracy(cfg.Test)
+		if err != nil {
+			return err
+		}
+		res.History = append(res.History, RoundMetrics{Round: round, Loss: loss, Accuracy: acc})
+		return nil
+	}
+	for _, ev := range events {
+		for ev.at > nextEval+1e-9 {
+			if err := record(len(res.History) + 1); err != nil {
+				return nil, err
+			}
+			nextEval += evalEvery
+		}
+		st := subsets[ev.org]
+		// Train the snapshot the organization pulled earlier.
+		local := st.snapshot
+		if _, err := local.TrainEpochs(st.data, cfg.LocalEpochs, cfg.Arch.LearningRate, cfg.Arch.BatchSize); err != nil {
+			return nil, fmt.Errorf("org %d: %w", ev.org, err)
+		}
+		staleness := float64(version - st.pulledVersion)
+		eta := float64(st.data.Len()) / weightSum / math.Pow(1+staleness, cfg.StalenessExponent)
+		if eta > 1 {
+			eta = 1
+		}
+		gp := global.Params()
+		for k, lp := range local.Params() {
+			gp[k].Scale(1 - eta)
+			if err := gp[k].AXPY(eta, lp); err != nil {
+				return nil, err
+			}
+		}
+		version++
+		// The organization pulls the fresh model for its next cadence.
+		st.snapshot = global.Clone()
+		st.pulledVersion = version
+	}
+	for len(res.History) < cfg.Evaluations {
+		if err := record(len(res.History) + 1); err != nil {
+			return nil, err
+		}
+	}
+	last := res.History[len(res.History)-1]
+	res.FinalLoss = last.Loss
+	res.FinalAccuracy = last.Accuracy
+	return res, nil
+}
+
+// subsetState tracks one organization's async progress.
+type subsetState struct {
+	data          *dataset.Dataset
+	pulledVersion int
+	snapshot      *model.MLP
+}
+
+// sortEvents orders arrivals by time, breaking ties by organization index
+// for determinism.
+func sortEvents(events []asyncEvent) {
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].org < events[j].org
+	})
+}

@@ -1,0 +1,129 @@
+package fl
+
+import (
+	"strings"
+	"testing"
+)
+
+func asyncFixture(t *testing.T) AsyncConfig {
+	t.Helper()
+	base := fixture(t, "fmnist", []int{250, 250, 250})
+	return AsyncConfig{
+		Config:     base,
+		RoundTimes: []float64{1.0, 1.5, 3.0}, // org 0 updates 3× as often as org 2
+		Horizon:    30,
+	}
+}
+
+func TestRunAsyncImprovesModel(t *testing.T) {
+	cfg := asyncFixture(t)
+	res, err := RunAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) < 10 {
+		t.Fatalf("history has %d evaluations, want ≥ 10", len(res.History))
+	}
+	if res.FinalLoss >= res.History[0].Loss {
+		t.Errorf("async loss did not improve: %v -> %v", res.History[0].Loss, res.FinalLoss)
+	}
+	if res.FinalAccuracy < 0.3 {
+		t.Errorf("async accuracy %v too low", res.FinalAccuracy)
+	}
+	if res.TotalSamples != 750 {
+		t.Errorf("TotalSamples = %d, want 750", res.TotalSamples)
+	}
+}
+
+func TestRunAsyncComparableToSync(t *testing.T) {
+	cfg := asyncFixture(t)
+	async, err := RunAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncCfg := cfg.Config
+	syncCfg.Rounds = 10
+	syncRes, err := Run(syncCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Async with staleness discounting should land in the same quality
+	// ballpark as synchronous FedAvg (footnote 2's claim that the
+	// mechanism is agnostic to the training discipline).
+	if async.FinalAccuracy < syncRes.FinalAccuracy-0.15 {
+		t.Errorf("async accuracy %v far below sync %v", async.FinalAccuracy, syncRes.FinalAccuracy)
+	}
+}
+
+func TestRunAsyncValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*AsyncConfig)
+		want   string
+	}{
+		{"round time count", func(c *AsyncConfig) { c.RoundTimes = c.RoundTimes[:1] }, "round times"},
+		{"zero round time", func(c *AsyncConfig) { c.RoundTimes[0] = 0 }, "round time"},
+		{"zero horizon", func(c *AsyncConfig) { c.Horizon = 0 }, "horizon"},
+		{"horizon below cadence", func(c *AsyncConfig) { c.Horizon = 0.5 }, "horizon"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := asyncFixture(t)
+			cfg.RoundTimes = append([]float64(nil), cfg.RoundTimes...)
+			tt.mutate(&cfg)
+			_, err := RunAsync(cfg)
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunAsyncZeroContributorSkipped(t *testing.T) {
+	cfg := asyncFixture(t)
+	cfg.Fractions = []float64{1, 0, 1}
+	res, err := RunAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSamples != 500 {
+		t.Errorf("TotalSamples = %d, want 500", res.TotalSamples)
+	}
+}
+
+func TestRunAsyncDeterministic(t *testing.T) {
+	cfg := asyncFixture(t)
+	a, err := RunAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalLoss != b.FinalLoss {
+		t.Error("async training not deterministic")
+	}
+}
+
+func TestRunAsyncFasterOrgsDominateEarly(t *testing.T) {
+	// With a very slow large org and a fast small org, early evaluations
+	// must already show learning (driven by the fast org's updates).
+	base := fixture(t, "fmnist", []int{400, 400})
+	cfg := AsyncConfig{
+		Config:     base,
+		RoundTimes: []float64{1, 25},
+		Horizon:    50,
+	}
+	res, err := RunAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := res.History[len(res.History)/2]
+	if mid.Accuracy <= 0.15 {
+		t.Errorf("mid-horizon accuracy %v at chance: fast org's updates not applied", mid.Accuracy)
+	}
+}

@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPartitionNonIIDShapes(t *testing.T) {
+	spec, _ := SpecByName("fmnist")
+	g, err := NewGenerator(spec, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := g.PartitionNonIID([]int{300, 500}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 || shards[0].Len() != 300 || shards[1].Len() != 500 {
+		t.Fatalf("wrong shard shapes")
+	}
+	for i, s := range shards {
+		if s.Dim() != spec.Dim || s.Classes != spec.Classes {
+			t.Errorf("shard %d: dim/classes wrong", i)
+		}
+	}
+}
+
+func TestPartitionNonIIDValidation(t *testing.T) {
+	spec, _ := SpecByName("fmnist")
+	g, _ := NewGenerator(spec, 17)
+	if _, err := g.PartitionNonIID([]int{100}, 0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := g.PartitionNonIID([]int{0}, 0.5); err == nil {
+		t.Error("zero shard size accepted")
+	}
+}
+
+// classImbalance returns the total-variation distance of a shard's label
+// distribution from uniform.
+func classImbalance(d *Dataset) float64 {
+	counts := d.ClassBalance()
+	var tv float64
+	uniform := 1.0 / float64(d.Classes)
+	for _, c := range counts {
+		tv += math.Abs(float64(c)/float64(d.Len()) - uniform)
+	}
+	return tv / 2
+}
+
+func TestSmallAlphaSkewsLabels(t *testing.T) {
+	spec, _ := SpecByName("svhn")
+	g1, _ := NewGenerator(spec, 23)
+	skewed, err := g1.PartitionNonIID([]int{2000, 2000, 2000}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(spec, 23)
+	mild, err := g2.PartitionNonIID([]int{2000, 2000, 2000}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var skewTV, mildTV float64
+	for i := range skewed {
+		skewTV += classImbalance(skewed[i])
+		mildTV += classImbalance(mild[i])
+	}
+	if skewTV <= mildTV {
+		t.Errorf("alpha=0.1 imbalance %v not above alpha=50 imbalance %v", skewTV, mildTV)
+	}
+	// Large alpha is close to uniform.
+	if mildTV/3 > 0.1 {
+		t.Errorf("alpha=50 shards too skewed: mean TV %v", mildTV/3)
+	}
+}
+
+func TestNonIIDDeterministic(t *testing.T) {
+	spec, _ := SpecByName("eurosat")
+	g1, _ := NewGenerator(spec, 31)
+	g2, _ := NewGenerator(spec, 31)
+	a, err := g1.PartitionNonIID([]int{200}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g2.PartitionNonIID([]int{200}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a[0].Y {
+		if a[0].Y[i] != b[0].Y[i] {
+			t.Fatal("non-IID partition not deterministic")
+		}
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	spec, _ := SpecByName("cifar10")
+	g, _ := NewGenerator(spec, 41)
+	for _, alpha := range []float64{0.05, 0.5, 1, 5, 100} {
+		mix := g.dirichlet(alpha)
+		var sum float64
+		for _, p := range mix {
+			if p < 0 {
+				t.Fatalf("alpha %v: negative proportion %v", alpha, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha %v: mix sums to %v", alpha, sum)
+		}
+	}
+}
+
+func TestGammaDrawMoments(t *testing.T) {
+	spec, _ := SpecByName("cifar10")
+	g, _ := NewGenerator(spec, 43)
+	for _, alpha := range []float64{0.5, 1, 2.5, 8} {
+		const n = 20000
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := g.gammaDraw(alpha)
+			if v < 0 {
+				t.Fatalf("alpha %v: negative gamma draw", alpha)
+			}
+			sum += v
+		}
+		if mean := sum / n; math.Abs(mean-alpha) > 0.1*alpha+0.05 {
+			t.Errorf("alpha %v: mean %v, want ≈%v", alpha, mean, alpha)
+		}
+	}
+}

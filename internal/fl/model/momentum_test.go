@@ -1,0 +1,72 @@
+package model
+
+import "testing"
+
+func TestMomentumAcceleratesTraining(t *testing.T) {
+	train, test := trainingSet(t, "svhn", 600)
+	plain, err := NewMLP(train.Dim(), train.Classes, []int{24}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := plain.Clone()
+	heavy.Momentum = 0.9
+	if _, err := plain.TrainEpochs(train, 6, 0.05, 32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := heavy.TrainEpochs(train, 6, 0.05, 32); err != nil {
+		t.Fatal(err)
+	}
+	lp, err := plain.Loss(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lh, err := heavy.Loss(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lh >= lp {
+		t.Errorf("momentum loss %v not below plain SGD %v on the same budget", lh, lp)
+	}
+	if acc, err := heavy.Accuracy(test); err != nil || acc < 0.2 {
+		t.Errorf("momentum model accuracy %v (err %v)", acc, err)
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	train, _ := trainingSet(t, "fmnist", 300)
+	free, err := NewMLP(train.Dim(), train.Classes, []int{16}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decayed := free.Clone()
+	decayed.WeightDecay = 0.05
+	if _, err := free.TrainEpochs(train, 8, 0.05, 32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decayed.TrainEpochs(train, 8, 0.05, 32); err != nil {
+		t.Fatal(err)
+	}
+	var normFree, normDecayed float64
+	for _, p := range free.Params() {
+		normFree += p.Frobenius()
+	}
+	for _, p := range decayed.Params() {
+		normDecayed += p.Frobenius()
+	}
+	if normDecayed >= normFree {
+		t.Errorf("weight decay norm %v not below free norm %v", normDecayed, normFree)
+	}
+}
+
+func TestCloneCarriesHyperparameters(t *testing.T) {
+	m, err := NewMLP(4, 3, []int{8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Momentum = 0.9
+	m.WeightDecay = 0.01
+	c := m.Clone()
+	if c.Momentum != 0.9 || c.WeightDecay != 0.01 {
+		t.Error("Clone dropped hyperparameters")
+	}
+}

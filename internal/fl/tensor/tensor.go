@@ -1,0 +1,297 @@
+// Package tensor provides the dense float64 matrix kernels that the FL
+// simulator's neural-network models are built on. It is deliberately small:
+// row-major matrices, the handful of BLAS-like operations training needs,
+// and nothing else. All operations are deterministic.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tradefl/internal/randx"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (len rows*cols) without copying.
+func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("tensor: data length %d != %d×%d", len(data), rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) error {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		return errors.New("tensor: copy shape mismatch")
+	}
+	copy(m.Data, src.Data)
+	return nil
+}
+
+// Zero resets all elements.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// RandomizeXavier fills m with Xavier/Glorot-uniform weights using src.
+func (m *Matrix) RandomizeXavier(src *randx.Source) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = src.Uniform(-limit, limit)
+	}
+}
+
+// MatMul computes dst = a·b. dst must be preallocated with shape
+// (a.Rows, b.Cols); a.Cols must equal b.Rows.
+func MatMul(dst, a, b *Matrix) error {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		return fmt.Errorf("tensor: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return nil
+}
+
+// MatMulATB computes dst = aᵀ·b (used for weight gradients).
+func MatMulATB(dst, a, b *Matrix) error {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		return errors.New("tensor: matmul-ATB shape mismatch")
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		brow := b.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[k*dst.Cols : (k+1)*dst.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return nil
+}
+
+// MatMulABT computes dst = a·bᵀ (used for input gradients).
+func MatMulABT(dst, a, b *Matrix) error {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		return errors.New("tensor: matmul-ABT shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
+	return nil
+}
+
+// AddRowVector adds row vector v (1×Cols) to every row of m in place.
+func (m *Matrix) AddRowVector(v *Matrix) error {
+	if v.Cols != m.Cols || v.Rows != 1 {
+		return errors.New("tensor: row-vector shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			row[j] += v.Data[j]
+		}
+	}
+	return nil
+}
+
+// AXPY computes m += alpha·x in place.
+func (m *Matrix) AXPY(alpha float64, x *Matrix) error {
+	if len(m.Data) != len(x.Data) {
+		return errors.New("tensor: axpy shape mismatch")
+	}
+	for i, v := range x.Data {
+		m.Data[i] += alpha * v
+	}
+	return nil
+}
+
+// Scale multiplies every element by alpha in place.
+func (m *Matrix) Scale(alpha float64) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// ReLU applies max(0, x) element-wise in place.
+func (m *Matrix) ReLU() {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+// ReLUBackward zeroes grad where act ≤ 0 (act holds post-ReLU values).
+func ReLUBackward(grad, act *Matrix) error {
+	if len(grad.Data) != len(act.Data) {
+		return errors.New("tensor: relu-backward shape mismatch")
+	}
+	for i, v := range act.Data {
+		if v <= 0 {
+			grad.Data[i] = 0
+		}
+	}
+	return nil
+}
+
+// SoftmaxCrossEntropy computes, per row of logits, the softmax distribution
+// and the cross-entropy loss against integer labels. probs is overwritten
+// with the softmax output; the mean loss is returned. Labels outside the
+// class range return an error.
+func SoftmaxCrossEntropy(probs, logits *Matrix, labels []int) (float64, error) {
+	if probs.Rows != logits.Rows || probs.Cols != logits.Cols {
+		return 0, errors.New("tensor: softmax shape mismatch")
+	}
+	if len(labels) != logits.Rows {
+		return 0, errors.New("tensor: label count mismatch")
+	}
+	var loss float64
+	for i := 0; i < logits.Rows; i++ {
+		if labels[i] < 0 || labels[i] >= logits.Cols {
+			return 0, fmt.Errorf("tensor: label %d out of range [0,%d)", labels[i], logits.Cols)
+		}
+		lrow := logits.Data[i*logits.Cols : (i+1)*logits.Cols]
+		prow := probs.Data[i*probs.Cols : (i+1)*probs.Cols]
+		maxv := lrow[0]
+		for _, v := range lrow[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range lrow {
+			e := math.Exp(v - maxv)
+			prow[j] = e
+			sum += e
+		}
+		for j := range prow {
+			prow[j] /= sum
+		}
+		loss += -math.Log(math.Max(prow[labels[i]], 1e-300))
+	}
+	return loss / float64(logits.Rows), nil
+}
+
+// SoftmaxCrossEntropyGrad writes dL/dlogits = (probs − onehot)/batch into
+// grad (may alias probs).
+func SoftmaxCrossEntropyGrad(grad, probs *Matrix, labels []int) error {
+	if grad.Rows != probs.Rows || grad.Cols != probs.Cols || len(labels) != probs.Rows {
+		return errors.New("tensor: softmax-grad shape mismatch")
+	}
+	inv := 1.0 / float64(probs.Rows)
+	if grad != probs {
+		copy(grad.Data, probs.Data)
+	}
+	for i, y := range labels {
+		row := grad.Data[i*grad.Cols : (i+1)*grad.Cols]
+		row[y] -= 1
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return nil
+}
+
+// ColumnSums writes the per-column sums of m into dst (1×Cols).
+func ColumnSums(dst, m *Matrix) error {
+	if dst.Rows != 1 || dst.Cols != m.Cols {
+		return errors.New("tensor: column-sums shape mismatch")
+	}
+	dst.Zero()
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			dst.Data[j] += v
+		}
+	}
+	return nil
+}
+
+// ArgmaxRows returns the index of the maximum element of each row.
+func (m *Matrix) ArgmaxRows() []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// RowSlice returns a view of rows [lo, hi) of m (no copy).
+func (m *Matrix) RowSlice(lo, hi int) (*Matrix, error) {
+	if lo < 0 || hi > m.Rows || lo >= hi {
+		return nil, fmt.Errorf("tensor: row slice [%d,%d) out of range", lo, hi)
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}, nil
+}
+
+// Frobenius returns the Frobenius norm of m.
+func (m *Matrix) Frobenius() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,66 @@
+package game
+
+// Personalization extension (the paper's stated future work, Sec. VII:
+// "personalizing the global model assigned to organizations to meet their
+// individual needs").
+//
+// With personalization degree α ∈ [0, 1), organization i receives a model
+// that mixes the global model with a head adapted to its own data, so its
+// effective performance is
+//
+//	P_i(π) = (1−α)·P(Ω) + α·P(β·d_i·scale_i),
+//
+// where β ≥ 1 (LocalBoost) captures that local data is more relevant to
+// the organization's own distribution. Competitors benefit only from the
+// shared global component, so coopetition damage scales by (1−α). Energy
+// and payoff redistribution are unchanged.
+//
+// The game remains a weighted potential game: for a unilateral deviation,
+// ΔC_i = (1−α)·z_i·ΔP(Ω) + α·p_i·ΔP_loc,i − ϖ_e·ΔE_comp,i + ΔR_i, and the
+// local term depends only on π_i, so
+//
+//	U_α(π) = P(Ω) + Σ_i [α·p_i·P(β·d_i·scale_i) − ϖ_e·E_comp,i + γ·ρ̄_i·x_i] / w_i
+//
+// with weights w_i = (1−α)·z_i satisfies w_i·ΔU_α = ΔC_i exactly — the
+// property tests verify it for α > 0 too. α = 1 is excluded: the shared
+// component vanishes and with it the coopetition structure.
+
+// Personalization configures the extension. The zero value disables it
+// (pure paper model).
+type Personalization struct {
+	// Alpha is α ∈ [0, 1), the weight of the locally-adapted component in
+	// each organization's effective model performance.
+	Alpha float64 `json:"alpha"`
+	// LocalBoost is β ≥ 1, the relevance gain of own data under
+	// personalization. Zero means 1.
+	LocalBoost float64 `json:"localBoost"`
+}
+
+// boost returns β with the zero-value default applied.
+func (p Personalization) boost() float64 {
+	if p.LocalBoost == 0 {
+		return 1
+	}
+	return p.LocalBoost
+}
+
+// enabled reports whether the extension is active.
+func (p Personalization) enabled() bool { return p.Alpha > 0 }
+
+// localOmega returns the Ω argument of organization i's personalized
+// component: β·d_i·scale_i.
+func (c *Config) localOmega(i int, s Strategy) float64 {
+	return c.Personal.boost() * s.D * c.omegaScale(i)
+}
+
+// PersonalPerformance returns P_i(π), the performance of the model
+// organization i actually receives: the global P(Ω) when personalization
+// is disabled, the (1−α)/α mixture otherwise.
+func (c *Config) PersonalPerformance(i int, p Profile) float64 {
+	global := c.Performance(p)
+	if !c.Personal.enabled() {
+		return global
+	}
+	local := c.Accuracy.Value(c.localOmega(i, p[i]))
+	return (1-c.Personal.Alpha)*global + c.Personal.Alpha*local
+}

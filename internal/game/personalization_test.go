@@ -1,0 +1,144 @@
+package game
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tradefl/internal/randx"
+)
+
+func personalizedConfig(t *testing.T, seed int64, alpha, boost float64) *Config {
+	t.Helper()
+	cfg := testConfig(t, seed)
+	cfg.Personal = Personalization{Alpha: alpha, LocalBoost: boost}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return cfg
+}
+
+func TestPersonalizationValidation(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Personal.Alpha = 1
+	if err := cfg.Validate(); err == nil {
+		t.Error("alpha = 1 accepted")
+	}
+	cfg.Personal.Alpha = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	cfg.Personal = Personalization{Alpha: 0.3, LocalBoost: -1}
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative local boost accepted")
+	}
+}
+
+func TestPersonalizationDisabledReproducesBaseModel(t *testing.T) {
+	base := testConfig(t, 5)
+	zero := testConfig(t, 5)
+	zero.Personal = Personalization{} // explicit zero value
+	src := randx.New(6)
+	for trial := 0; trial < 10; trial++ {
+		p := randomProfile(base, src)
+		for i := range p {
+			if base.Payoff(i, p) != zero.Payoff(i, p) {
+				t.Fatalf("zero-value personalization changed payoffs")
+			}
+		}
+		if base.Potential(p) != zero.Potential(p) {
+			t.Fatal("zero-value personalization changed potential")
+		}
+	}
+}
+
+func TestPersonalPerformanceMixture(t *testing.T) {
+	cfg := personalizedConfig(t, 5, 0.4, 2)
+	src := randx.New(7)
+	p := randomProfile(cfg, src)
+	for i := range p {
+		global := cfg.Performance(p)
+		local := cfg.Accuracy.Value(2 * p[i].D * cfg.Orgs[i].Samples)
+		want := 0.6*global + 0.4*local
+		if got := cfg.PersonalPerformance(i, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("org %d: P_i = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestPersonalizationScalesDamage(t *testing.T) {
+	base := testConfig(t, 8)
+	pers := personalizedConfig(t, 8, 0.5, 1)
+	src := randx.New(9)
+	p := randomProfile(base, src)
+	for i := range p {
+		if got, want := pers.Damage(i, p), 0.5*base.Damage(i, p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("org %d: damage %v, want (1−α)·base = %v", i, got, want)
+		}
+	}
+}
+
+// TestPersonalizedPotentialIdentity: the weighted-potential identity must
+// hold exactly under the extension, with weights (1−α)·z_i.
+func TestPersonalizedPotentialIdentity(t *testing.T) {
+	check := func(alphaRaw, boostRaw float64, seedRaw int64) bool {
+		alpha := 0.05 + 0.85*frac(alphaRaw)
+		boost := 1 + 3*frac(boostRaw)
+		seed := seedRaw%1000 + 1001
+		cfg, err := DefaultConfig(GenOptions{Seed: seed, N: 6})
+		if err != nil {
+			return false
+		}
+		cfg.Personal = Personalization{Alpha: alpha, LocalBoost: boost}
+		src := randx.New(seed + 3)
+		p := randomProfile(cfg, src)
+		i := src.Intn(cfg.N())
+		q := p.Clone()
+		o := cfg.Orgs[i]
+		f := o.CPULevels[src.Intn(len(o.CPULevels))]
+		lo, hi, ok := cfg.FeasibleD(i, f)
+		if !ok {
+			return true
+		}
+		q[i] = Strategy{D: src.Uniform(lo, hi), F: f}
+		return cfg.PotentialIdentityError(i, p, q) <= 1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func frac(x float64) float64 {
+	v := math.Abs(x)
+	return v - math.Floor(v)
+}
+
+func TestPersonalizationBudgetBalancePreserved(t *testing.T) {
+	cfg := personalizedConfig(t, 10, 0.6, 2)
+	src := randx.New(11)
+	p := randomProfile(cfg, src)
+	if bb := cfg.CheckBudgetBalance(p); math.Abs(bb) > 1e-6 {
+		t.Errorf("ΣR_i = %v under personalization, want 0", bb)
+	}
+}
+
+func TestEffectiveWeight(t *testing.T) {
+	cfg := personalizedConfig(t, 12, 0.25, 1)
+	for i := range cfg.Orgs {
+		if got, want := cfg.EffectiveWeight(i), 0.75*cfg.Weight(i); math.Abs(got-want) > 1e-12 {
+			t.Errorf("w_%d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestPayoffsBatchMatchesUnderPersonalization(t *testing.T) {
+	cfg := personalizedConfig(t, 13, 0.35, 1.5)
+	src := randx.New(14)
+	p := randomProfile(cfg, src)
+	batch := cfg.Payoffs(p)
+	for i := range p {
+		if single := cfg.Payoff(i, p); math.Abs(batch[i]-single) > 1e-6 {
+			t.Errorf("Payoffs[%d] = %v, Payoff = %v", i, batch[i], single)
+		}
+	}
+}

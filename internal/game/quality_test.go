@@ -1,0 +1,106 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"tradefl/internal/randx"
+)
+
+func TestQualityValidation(t *testing.T) {
+	cfg := testConfig(t, 1)
+	cfg.Orgs[0].Quality = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("quality > 1 accepted")
+	}
+	cfg.Orgs[0].Quality = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative quality accepted")
+	}
+	cfg.Orgs[0].Quality = 0 // zero value = default 1
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("zero-value quality rejected: %v", err)
+	}
+}
+
+func TestQualityDefaultReproducesBaseModel(t *testing.T) {
+	base := testConfig(t, 3)
+	explicit := testConfig(t, 3)
+	for i := range explicit.Orgs {
+		explicit.Orgs[i].Quality = 1
+	}
+	src := randx.New(4)
+	p := randomProfile(base, src)
+	for i := range p {
+		if base.Payoff(i, p) != explicit.Payoff(i, p) {
+			t.Fatal("explicit quality 1 changed payoffs")
+		}
+	}
+	if base.Potential(p) != explicit.Potential(p) {
+		t.Fatal("explicit quality 1 changed potential")
+	}
+}
+
+func TestQualityScalesOmegaAndCredit(t *testing.T) {
+	cfg := testConfig(t, 5)
+	cfg.Orgs[0].Quality = 0.5
+	src := randx.New(6)
+	p := randomProfile(cfg, src)
+	// Ω contribution halves.
+	if got, want := cfg.OmegaScale(0), 0.5*cfg.Orgs[0].Samples; math.Abs(got-want) > 1e-9 {
+		t.Errorf("OmegaScale = %v, want %v", got, want)
+	}
+	// Redistribution credit halves while energy stays on raw volume.
+	if got, want := cfg.DataCredit(0), 0.5*cfg.Orgs[0].DataBits; math.Abs(got-want) > 1e-9 {
+		t.Errorf("DataCredit = %v, want %v", got, want)
+	}
+	full := testConfig(t, 5)
+	if cfg.Energy(0, p[0]) != full.Energy(0, p[0]) {
+		t.Error("quality changed the energy cost (it must not)")
+	}
+	xLow := cfg.ContributionIndex(0, p[0])
+	xFull := full.ContributionIndex(0, p[0])
+	if xLow >= xFull {
+		t.Errorf("low-quality index %v not below full-quality %v", xLow, xFull)
+	}
+}
+
+// TestQualityPreservesPotentialIdentity: the weighted-potential identity
+// must hold with heterogeneous quality.
+func TestQualityPreservesPotentialIdentity(t *testing.T) {
+	cfg := testConfig(t, 8)
+	src := randx.New(9)
+	for i := range cfg.Orgs {
+		cfg.Orgs[i].Quality = src.Uniform(0.3, 1)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		p := randomProfile(cfg, src)
+		i := src.Intn(cfg.N())
+		q := p.Clone()
+		o := cfg.Orgs[i]
+		f := o.CPULevels[src.Intn(len(o.CPULevels))]
+		lo, hi, ok := cfg.FeasibleD(i, f)
+		if !ok {
+			continue
+		}
+		q[i] = Strategy{D: src.Uniform(lo, hi), F: f}
+		if err := cfg.PotentialIdentityError(i, p, q); err > 1e-6 {
+			t.Fatalf("trial %d: identity error %v under quality weights", trial, err)
+		}
+	}
+}
+
+func TestQualityBudgetBalance(t *testing.T) {
+	cfg := testConfig(t, 10)
+	src := randx.New(11)
+	for i := range cfg.Orgs {
+		cfg.Orgs[i].Quality = src.Uniform(0.2, 1)
+	}
+	p := randomProfile(cfg, src)
+	if bb := cfg.CheckBudgetBalance(p); math.Abs(bb) > 1e-6 {
+		t.Errorf("ΣR_i = %v with quality weights, want 0", bb)
+	}
+}

@@ -1,0 +1,398 @@
+// Package gbd implements CGBD, the centralized Generalized-Benders-
+// Decomposition algorithm of TradeFL (Algorithm 1, Sec. V-B).
+//
+// The joint problem (18) maximizes the weighted potential U(d, f) over the
+// continuous data fractions d and the discrete CPU frequencies f, subject
+// to the per-organization deadline constraints C^(3). Following the paper,
+// it is decomposed into:
+//
+//   - a primal problem (19): for fixed f, maximize U(d, f) over d — convex
+//     (Lemma 1). For fixed f the deadline becomes a box cap on d_i, so the
+//     primal has the exact water-filling structure solved by
+//     optimize.WaterFillProblem (strictly better than the δ-approximate
+//     interior-point method the paper invokes);
+//   - a feasibility-check problem (21) for f grids whose slowest levels
+//     cannot fit even D_min within the deadline;
+//   - a master problem (23) over the discrete f grid, constrained by
+//     optimality cuts L*(d_v, f, u_v) and feasibility cuts L_*(d_v, f, λ_v),
+//     solved by traversal (as in the paper) or by pruned depth-first search.
+//
+// Sign convention: the paper states (18) as minimization of −U; we keep the
+// maximization form, so the primal values form the lower bound LB and the
+// master optimum forms the upper bound UB, with convergence at UB−LB ≤ ε.
+package gbd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tradefl/internal/game"
+	"tradefl/internal/optimize"
+)
+
+// MasterSolver selects the algorithm used for the master problem (23).
+type MasterSolver int
+
+const (
+	// MasterTraversal exhaustively enumerates the f grid (the paper's
+	// traversal method).
+	MasterTraversal MasterSolver = iota + 1
+	// MasterPruned runs a depth-first traversal with bound pruning; exact,
+	// usually orders of magnitude faster on larger grids.
+	MasterPruned
+)
+
+// Options configures Solve.
+type Options struct {
+	// Epsilon is the UB−LB convergence tolerance ε (default 1e-6).
+	Epsilon float64
+	// MaxIter is K, the iteration cap (default 50).
+	MaxIter int
+	// Master selects the master-problem solver (default MasterPruned).
+	Master MasterSolver
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 1e-6
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 50
+	}
+	if o.Master == 0 {
+		o.Master = MasterPruned
+	}
+	return o
+}
+
+// Result reports the solution and the convergence trace of Algorithm 1.
+type Result struct {
+	// Profile is the best (d*, f*) found; by Theorem 1's potential-game
+	// argument it is a (δ+ε)-approximate Nash equilibrium.
+	Profile game.Profile
+	// Potential is U(Profile).
+	Potential float64
+	// LowerBounds[k], UpperBounds[k] trace LB/UB per iteration.
+	LowerBounds, UpperBounds []float64
+	// PotentialTrace records the primal value of each iteration (Fig. 4).
+	PotentialTrace []float64
+	// Iterations is the number of completed iterations.
+	Iterations int
+	// Converged reports UB−LB ≤ ε at exit.
+	Converged bool
+}
+
+// optimalityCut stores the data of one feasible primal iteration. The
+// paper's cut L*(d_v, f, u_v) evaluated at the fixed point d_v (Eq. 20) is
+// not a valid upper bound on max_d U(d, f) for f ≠ f_v, which would break
+// Lemma 3's optimality guarantee. We therefore use its concavity
+// linearization: P(Ω) ≤ P(Ω̂_v) + P'(Ω̂_v)·(Ω − Ω̂_v) turns
+// max_{d∈X} L(d, f, u_v) into a separable-in-f_i expression that (a) upper
+// bounds the primal value at every f and (b) coincides with
+// U(d_v, f_v) + u_v·G(d_v, f_v) = U(d_v, f_v) at the generating point, so
+// GBD's finite ε-convergence to the global optimum is restored
+// (DESIGN.md §2 records this as a clarification of the paper).
+type optimalityCut struct {
+	d []float64 // data fractions d_v
+	u []float64 // deadline multipliers u_v
+	// omegaHat = Ω(d_v); pHat = P(Ω̂); pSlope = P'(Ω̂).
+	omegaHat, pHat, pSlope float64
+}
+
+// feasibilityCut stores (d_w, λ_w) of an infeasible iteration; it requires
+// Σ_i λ_i·G_i(d_w,i, f_i) ≤ 0.
+type feasibilityCut struct {
+	d      []float64
+	lambda []float64
+}
+
+// solver carries per-run precomputation.
+type solver struct {
+	cfg  *game.Config
+	opts Options
+	// rhoBar[i] = ρ̄_i, zs[i] = z_i, scale[i] = Ω unit per d_i.
+	rhoBar, zs, scale []float64
+	optCuts           []optimalityCut
+	feasCuts          []feasibilityCut
+}
+
+// ErrInfeasible is returned when no CPU grid point admits a feasible d.
+var ErrInfeasible = errors.New("gbd: problem infeasible for every f in the grid")
+
+// Solve runs Algorithm 1 on the coopetition game and returns the
+// near-optimal joint strategy profile.
+func Solve(cfg *game.Config, opts Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("gbd: %w", err)
+	}
+	if cfg.Personal.Alpha > 0 {
+		// The personalization extension adds a concave per-organization
+		// term to the potential, breaking the linear water-fill structure
+		// of the primal; solve personalized games with DBR instead.
+		return nil, errors.New("gbd: personalization extension not supported; use DBR")
+	}
+	opts = opts.withDefaults()
+	n := cfg.N()
+	s := &solver{
+		cfg:    cfg,
+		opts:   opts,
+		rhoBar: make([]float64, n),
+		zs:     make([]float64, n),
+		scale:  make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		s.rhoBar[i] = cfg.RhoRowSum(i)
+		s.zs[i] = cfg.Weight(i)
+		s.scale[i] = cfg.OmegaScale(i)
+	}
+
+	// Initial f^(0): the fastest level of every organization, which is
+	// feasible whenever any grid point is.
+	f := make([]float64, n)
+	for i, o := range cfg.Orgs {
+		f[i] = o.CPULevels[len(o.CPULevels)-1]
+	}
+
+	res := &Result{}
+	lb := math.Inf(-1)
+	ub := math.Inf(1)
+	var best game.Profile
+	for k := 0; k < opts.MaxIter; k++ {
+		res.Iterations = k + 1
+		d, u, feasible := s.solvePrimal(f)
+		if feasible {
+			p := toProfile(d, f)
+			val := cfg.Potential(p)
+			if val > lb {
+				lb = val
+				best = p
+			}
+			// The trace reports the incumbent (best-so-far) potential, the
+			// quantity Fig. 4 plots for the centralized algorithm.
+			res.PotentialTrace = append(res.PotentialTrace, lb)
+			var omegaHat float64
+			for i, di := range d {
+				omegaHat += di * s.scale[i]
+			}
+			s.optCuts = append(s.optCuts, optimalityCut{
+				d:        d,
+				u:        u,
+				omegaHat: omegaHat,
+				pHat:     cfg.Accuracy.Value(omegaHat),
+				pSlope:   cfg.Accuracy.Derivative(omegaHat),
+			})
+		} else {
+			lambda := s.solveFeasibility(f)
+			s.feasCuts = append(s.feasCuts, feasibilityCut{d: d, lambda: lambda})
+			if len(res.PotentialTrace) > 0 {
+				res.PotentialTrace = append(res.PotentialTrace, res.PotentialTrace[len(res.PotentialTrace)-1])
+			} else {
+				res.PotentialTrace = append(res.PotentialTrace, math.Inf(-1))
+			}
+		}
+		res.LowerBounds = append(res.LowerBounds, lb)
+
+		fNext, phi, ok := s.solveMaster()
+		if !ok {
+			if best == nil {
+				return nil, ErrInfeasible
+			}
+			// Every f is cut off: the incumbent is optimal.
+			ub = lb
+			res.UpperBounds = append(res.UpperBounds, ub)
+			res.Converged = true
+			break
+		}
+		if phi < ub {
+			ub = phi
+		}
+		res.UpperBounds = append(res.UpperBounds, ub)
+		if ub-lb <= opts.Epsilon {
+			res.Converged = true
+			break
+		}
+		f = fNext
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	res.Profile = best
+	res.Potential = lb
+	return res, nil
+}
+
+// toProfile assembles a strategy profile from d and f vectors.
+func toProfile(d, f []float64) game.Profile {
+	p := make(game.Profile, len(d))
+	for i := range p {
+		p[i] = game.Strategy{D: d[i], F: f[i]}
+	}
+	return p
+}
+
+// linearCostPerOmega returns w_i: the linear coefficient of the potential
+// in y_i = scale_i·d_i at frequency fi, negated so the water-fill objective
+// φ(Σy) − Σ w·y equals U up to f-only constants:
+//
+//	U = P(Ω) − Σ_i [ϖ_e·κ·f_i²·η_i·s_i − γ·ρ̄_i·s_i]·d_i/z_i + const(f).
+func (s *solver) linearCostPerOmega(i int, fi float64) float64 {
+	o := s.cfg.Orgs[i]
+	// Energy is paid on the raw data volume; redistribution credit accrues
+	// on the quality-weighted volume.
+	perD := (s.cfg.EnergyWeight*o.Comm.Kappa*fi*fi*o.Comm.CyclesPerBit*o.DataBits -
+		s.cfg.Gamma*s.rhoBar[i]*s.cfg.DataCredit(i)) / s.zs[i]
+	return perD / s.scale[i]
+}
+
+// fOnlyTerm returns the part of U that depends on f_i but not d_i:
+// γ·ρ̄_i·λ·f_i / z_i.
+func (s *solver) fOnlyTerm(i int, fi float64) float64 {
+	return s.cfg.Gamma * s.rhoBar[i] * s.cfg.Lambda * fi / s.zs[i]
+}
+
+// solvePrimal maximizes U(·, f) over the box of feasible d. It returns the
+// maximizer, the deadline-constraint Lagrange multipliers u (zero where the
+// deadline does not bind), and whether the primal was feasible. On an
+// infeasible primal it returns d = DMin everywhere (the feasibility-check
+// minimizer) and u = nil.
+func (s *solver) solvePrimal(f []float64) (d, u []float64, feasible bool) {
+	cfg := s.cfg
+	n := cfg.N()
+	d = make([]float64, n)
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dlo, dhi, ok := cfg.FeasibleD(i, f[i])
+		if !ok {
+			for j := range d {
+				d[j] = cfg.DMin
+			}
+			return d, nil, false
+		}
+		lo[i] = dlo * s.scale[i]
+		hi[i] = dhi * s.scale[i]
+		w[i] = s.linearCostPerOmega(i, f[i])
+	}
+	prob := &optimize.WaterFillProblem{
+		Phi:      cfg.Accuracy.Value,
+		PhiPrime: cfg.Accuracy.Derivative,
+		W:        w,
+		Lo:       lo,
+		Hi:       hi,
+	}
+	y, _, err := prob.Solve()
+	if err != nil {
+		// Bounds were validated above; treat a solver error as infeasible.
+		for j := range d {
+			d[j] = cfg.DMin
+		}
+		return d, nil, false
+	}
+	var omega float64
+	for _, v := range y {
+		omega += v
+	}
+	u = make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = y[i] / s.scale[i]
+		// KKT multiplier of the deadline constraint: positive only when the
+		// deadline cap binds (d_i at cap < 1) with positive potential
+		// gradient. dU/dd_i = [P'(Ω)·scale_i − w_i·scale_i];
+		// dG_i/dd_i = η_i·s_i/f_i.
+		o := cfg.Orgs[i]
+		capD := o.Comm.MaxDataFraction(o.DataBits, f[i], cfg.Deadline)
+		atCap := capD < 1 && math.Abs(d[i]-capD) <= 1e-9*math.Max(1, capD)
+		if !atCap {
+			continue
+		}
+		gradU := (cfg.Accuracy.Derivative(omega) - w[i]) * s.scale[i]
+		if gradU <= 0 {
+			continue
+		}
+		gradG := o.Comm.CyclesPerBit * o.DataBits / f[i]
+		u[i] = gradU / gradG
+	}
+	return d, u, true
+}
+
+// solveFeasibility solves the feasibility-check problem (21) for an
+// infeasible f: min ζ s.t. G_i(d, f) ≤ ζ with d free in [DMin, 1]. The
+// minimizing d is DMin (training time grows with d), and the multiplier
+// vector λ is the indicator of the deadline-violating organizations,
+// normalized to sum to one — the subgradient certificate that at least one
+// G_i stays positive for every admissible d.
+func (s *solver) solveFeasibility(f []float64) (lambda []float64) {
+	cfg := s.cfg
+	n := cfg.N()
+	lambda = make([]float64, n)
+	var count float64
+	for i := 0; i < n; i++ {
+		o := cfg.Orgs[i]
+		if o.Comm.DeadlineSlack(cfg.DMin, o.DataBits, f[i], cfg.Deadline) < 0 {
+			lambda[i] = 1
+			count++
+		}
+	}
+	if count > 0 {
+		for i := range lambda {
+			lambda[i] /= count
+		}
+	}
+	return lambda
+}
+
+// deadlineG returns G_i(d, f_i) = T1 + η·d·s/f + T3 − τ.
+func (s *solver) deadlineG(i int, d, fi float64) float64 {
+	o := s.cfg.Orgs[i]
+	return -o.Comm.DeadlineSlack(d, o.DataBits, fi, s.cfg.Deadline)
+}
+
+// optCutTerm is the f_i-dependent contribution of organization i to a
+// linearized optimality cut:
+//
+//	max_{d∈[DMin,1]} [(P'(Ω̂) − w_i(f_i))·scale_i − u_i·slope_i(f_i)]·d
+//	  + γ·ρ̄_i·λ·f_i/z_i − u_i·(T1 + T3 − τ) ,
+//
+// where slope_i(f) = η_i·s_i/f is dG_i/dd_i and the Lagrangian of the
+// maximization primal is L = U − u·G (weak duality: −u·G ≥ 0 on the
+// feasible set). The inner maximum of the linear term sits at one of the
+// box endpoints.
+func (s *solver) optCutTerm(c optimalityCut, i int, fi float64) float64 {
+	o := s.cfg.Orgs[i]
+	coef := (c.pSlope-s.linearCostPerOmega(i, fi))*s.scale[i] -
+		c.u[i]*o.Comm.CyclesPerBit*o.DataBits/fi
+	inner := coef * s.cfg.DMin
+	if v := coef * 1; v > inner {
+		inner = v
+	}
+	base := o.Comm.DownloadTime + o.Comm.UploadTime - s.cfg.Deadline
+	return inner + s.fOnlyTerm(i, fi) - c.u[i]*base
+}
+
+// optCutConst is the f-independent part of a linearized optimality cut:
+// P(Ω̂) − P'(Ω̂)·Ω̂.
+func (s *solver) optCutConst(c optimalityCut) float64 {
+	return c.pHat - c.pSlope*c.omegaHat
+}
+
+// feasCutTerm is the f_i-dependent contribution to a feasibility cut.
+func (s *solver) feasCutTerm(c feasibilityCut, i int, fi float64) float64 {
+	if c.lambda[i] == 0 {
+		return 0
+	}
+	return c.lambda[i] * s.deadlineG(i, c.d[i], fi)
+}
+
+// solveMaster maximizes φ over the discrete f grid subject to
+// φ ≤ L*(d_v, f, u_v) for all optimality cuts and L_*(d_w, f, λ_w) ≤ 0 for
+// all feasibility cuts. ok is false when every grid point is excluded.
+func (s *solver) solveMaster() (f []float64, phi float64, ok bool) {
+	switch s.opts.Master {
+	case MasterTraversal:
+		return s.masterTraversal()
+	default:
+		return s.masterPruned()
+	}
+}

@@ -1,0 +1,187 @@
+package gbd
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"tradefl/internal/dbr"
+	"tradefl/internal/game"
+)
+
+func defaultGame(t *testing.T, seed int64) *game.Config {
+	t.Helper()
+	cfg, err := game.DefaultConfig(game.GenOptions{Seed: seed})
+	if err != nil {
+		t.Fatalf("DefaultConfig: %v", err)
+	}
+	return cfg
+}
+
+func TestSolveConvergesOnDefaultInstance(t *testing.T) {
+	cfg := defaultGame(t, 7)
+	res, err := Solve(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("CGBD did not converge in %d iterations", res.Iterations)
+	}
+	if err := cfg.ValidProfile(res.Profile); err != nil {
+		t.Errorf("CGBD profile violates constraints: %v", err)
+	}
+	if len(res.LowerBounds) == 0 || len(res.UpperBounds) == 0 {
+		t.Error("missing bound traces")
+	}
+}
+
+func TestBoundsBracketAndTighten(t *testing.T) {
+	cfg := defaultGame(t, 3)
+	res, err := Solve(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range res.LowerBounds {
+		if k < len(res.UpperBounds) && res.LowerBounds[k] > res.UpperBounds[k]+1e-6 {
+			t.Errorf("iteration %d: LB %v above UB %v", k, res.LowerBounds[k], res.UpperBounds[k])
+		}
+		if k > 0 && res.LowerBounds[k] < res.LowerBounds[k-1]-1e-9 {
+			t.Errorf("iteration %d: LB decreased", k)
+		}
+	}
+	for k := 1; k < len(res.UpperBounds); k++ {
+		if res.UpperBounds[k] > res.UpperBounds[k-1]+1e-9 {
+			t.Errorf("iteration %d: UB increased", k)
+		}
+	}
+}
+
+// TestCGBDPotentialAtLeastDBR checks the paper's Fig. 4 ordering: the
+// centralized solver must reach a potential value no worse than distributed
+// best response, on several instances.
+func TestCGBDPotentialAtLeastDBR(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		cfg := defaultGame(t, seed)
+		cres, err := Solve(cfg, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		dres, err := dbr.Solve(cfg, nil, dbr.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		du := cfg.Potential(dres.Profile)
+		if cres.Potential < du-1e-4 {
+			t.Errorf("seed %d: CGBD potential %v below DBR %v", seed, cres.Potential, du)
+		}
+	}
+}
+
+// TestCGBDIsApproxNash: the CGBD maximizer of the potential must be an
+// (approximate) Nash equilibrium of the coopetition game (Theorem 1 +
+// [33, Theorem 2.4]).
+func TestCGBDIsApproxNash(t *testing.T) {
+	cfg := defaultGame(t, 7)
+	res, err := Solve(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := cfg.CheckNash(res.Profile, 80, 1e-2)
+	if !rep.IsNash {
+		t.Errorf("CGBD solution not Nash: %v", rep)
+	}
+}
+
+func TestMasterSolversAgree(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := defaultGame(t, seed)
+		a, err := Solve(cfg, Options{Master: MasterTraversal})
+		if err != nil {
+			t.Fatalf("seed %d traversal: %v", seed, err)
+		}
+		b, err := Solve(cfg, Options{Master: MasterPruned})
+		if err != nil {
+			t.Fatalf("seed %d pruned: %v", seed, err)
+		}
+		if math.Abs(a.Potential-b.Potential) > 1e-6 {
+			t.Errorf("seed %d: traversal %v vs pruned %v", seed, a.Potential, b.Potential)
+		}
+	}
+}
+
+func TestSolveRejectsInvalidConfig(t *testing.T) {
+	cfg := defaultGame(t, 1)
+	cfg.Accuracy = nil
+	if _, err := Solve(cfg, Options{}); err == nil {
+		t.Error("Solve accepted invalid config")
+	}
+}
+
+func TestSolveInfeasibleDeadline(t *testing.T) {
+	cfg := defaultGame(t, 1)
+	cfg.Deadline = 0.3 // below T1 + T3: nothing is feasible
+	_, err := Solve(cfg, Options{})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestFeasibilityCutsExcludeSlowCPUs(t *testing.T) {
+	cfg := defaultGame(t, 2)
+	// Tighten the deadline so the slowest level cannot fit even DMin for
+	// big datasets, but the fastest can.
+	cfg.DMin = 0.8
+	cfg.Deadline = 0.5 + 0.8*25e9/5e9*1.05 // fastest level barely fits
+	res, err := Solve(cfg, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := cfg.ValidProfile(res.Profile); err != nil {
+		t.Errorf("profile infeasible: %v", err)
+	}
+}
+
+func TestPotentialTraceNondecreasingBest(t *testing.T) {
+	cfg := defaultGame(t, 9)
+	res, err := Solve(cfg, Options{MaxIter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(-1)
+	for _, v := range res.PotentialTrace {
+		if v > best {
+			best = v
+		}
+	}
+	if math.Abs(best-res.Potential) > 1e-9 {
+		t.Errorf("best trace value %v != reported potential %v", best, res.Potential)
+	}
+}
+
+func TestLargerCPUGrid(t *testing.T) {
+	cfg, err := game.DefaultConfig(game.GenOptions{Seed: 4, CPUSteps: 5, N: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(cfg, Options{Master: MasterPruned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("did not converge with m=5 grid")
+	}
+	dres, err := dbr.Solve(cfg, nil, dbr.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if du := cfg.Potential(dres.Profile); res.Potential < du-1e-4 {
+		t.Errorf("CGBD potential %v below DBR %v on m=5 grid", res.Potential, du)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Epsilon <= 0 || o.MaxIter <= 0 || o.Master == 0 {
+		t.Errorf("withDefaults left zero values: %+v", o)
+	}
+}

@@ -1,0 +1,236 @@
+package gbd
+
+import "math"
+
+// cutTables precomputes, for every cut, the per-organization per-CPU-level
+// term values, so grid enumeration touches no float math beyond additions.
+type cutTables struct {
+	levels [][]float64 // levels[i] = CPU grid of organization i
+	// opt[v][i][k]: term of optimality cut v for org i at level k.
+	opt [][][]float64
+	// optConst[v]: f-independent part of optimality cut v.
+	optConst []float64
+	// feas[w][i][k]: term of feasibility cut w for org i at level k.
+	feas [][][]float64
+	// optMax[v][i]: max over k of opt[v][i][k] (for pruning bounds).
+	optMax [][]float64
+	// feasMin[w][i]: min over k of feas[w][i][k].
+	feasMin [][]float64
+}
+
+func (s *solver) buildTables() *cutTables {
+	n := s.cfg.N()
+	t := &cutTables{levels: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		t.levels[i] = s.cfg.Orgs[i].CPULevels
+	}
+	for _, c := range s.optCuts {
+		terms := make([][]float64, n)
+		maxs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, len(t.levels[i]))
+			best := math.Inf(-1)
+			for k, fi := range t.levels[i] {
+				row[k] = s.optCutTerm(c, i, fi)
+				if row[k] > best {
+					best = row[k]
+				}
+			}
+			terms[i] = row
+			maxs[i] = best
+		}
+		t.opt = append(t.opt, terms)
+		t.optMax = append(t.optMax, maxs)
+		t.optConst = append(t.optConst, s.optCutConst(c))
+	}
+	for _, c := range s.feasCuts {
+		terms := make([][]float64, n)
+		mins := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, len(t.levels[i]))
+			best := math.Inf(1)
+			for k, fi := range t.levels[i] {
+				row[k] = s.feasCutTerm(c, i, fi)
+				if row[k] < best {
+					best = row[k]
+				}
+			}
+			terms[i] = row
+			mins[i] = best
+		}
+		t.feas = append(t.feas, terms)
+		t.feasMin = append(t.feasMin, mins)
+	}
+	return t
+}
+
+// masterTraversal enumerates the full f grid — the paper's traversal
+// method, Θ(m^N) grid points.
+func (s *solver) masterTraversal() ([]float64, float64, bool) {
+	t := s.buildTables()
+	n := s.cfg.N()
+	idx := make([]int, n)
+	bestPhi := math.Inf(-1)
+	var bestIdx []int
+	for {
+		if s.gridFeasible(t, idx) {
+			phi := s.gridPhi(t, idx)
+			if phi > bestPhi {
+				bestPhi = phi
+				bestIdx = append(bestIdx[:0], idx...)
+			}
+		}
+		// Advance the mixed-radix counter.
+		i := n - 1
+		for i >= 0 {
+			idx[i]++
+			if idx[i] < len(t.levels[i]) {
+				break
+			}
+			idx[i] = 0
+			i--
+		}
+		if i < 0 {
+			break
+		}
+	}
+	if bestIdx == nil {
+		return nil, 0, false
+	}
+	return s.gridF(t, bestIdx), bestPhi, true
+}
+
+// gridFeasible checks all feasibility cuts at a grid point.
+func (s *solver) gridFeasible(t *cutTables, idx []int) bool {
+	for w := range t.feas {
+		var sum float64
+		for i, k := range idx {
+			sum += t.feas[w][i][k]
+		}
+		if sum > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// gridPhi evaluates min over optimality cuts at a grid point; +Inf with no
+// cuts (the master is then unbounded and any feasible point works).
+func (s *solver) gridPhi(t *cutTables, idx []int) float64 {
+	if len(t.opt) == 0 {
+		return math.Inf(1)
+	}
+	phi := math.Inf(1)
+	for v := range t.opt {
+		sum := t.optConst[v]
+		for i, k := range idx {
+			sum += t.opt[v][i][k]
+		}
+		if sum < phi {
+			phi = sum
+		}
+	}
+	return phi
+}
+
+func (s *solver) gridF(t *cutTables, idx []int) []float64 {
+	f := make([]float64, len(idx))
+	for i, k := range idx {
+		f[i] = t.levels[i][k]
+	}
+	return f
+}
+
+// masterPruned runs exact depth-first search with two bounds: an optimistic
+// upper bound on min-over-cuts (partial sums completed with per-org maxima)
+// to prune against the incumbent, and an optimistic lower bound on each
+// feasibility cut (partial sums completed with per-org minima) to prune
+// provably-infeasible subtrees.
+func (s *solver) masterPruned() ([]float64, float64, bool) {
+	t := s.buildTables()
+	n := s.cfg.N()
+
+	// Suffix sums of per-org extrema for O(1) bound completion.
+	optSuffix := make([][]float64, len(t.opt)) // optSuffix[v][i] = Σ_{j≥i} optMax[v][j]
+	for v := range t.opt {
+		suf := make([]float64, n+1)
+		for i := n - 1; i >= 0; i-- {
+			suf[i] = suf[i+1] + t.optMax[v][i]
+		}
+		optSuffix[v] = suf
+	}
+	feasSuffix := make([][]float64, len(t.feas))
+	for w := range t.feas {
+		suf := make([]float64, n+1)
+		for i := n - 1; i >= 0; i-- {
+			suf[i] = suf[i+1] + t.feasMin[w][i]
+		}
+		feasSuffix[w] = suf
+	}
+
+	idx := make([]int, n)
+	bestPhi := math.Inf(-1)
+	var bestIdx []int
+	optPartial := make([]float64, len(t.opt))
+	for v := range optPartial {
+		optPartial[v] = t.optConst[v]
+	}
+	feasPartial := make([]float64, len(t.feas))
+
+	var dfs func(depth int)
+	dfs = func(depth int) {
+		// Feasibility pruning: a cut that cannot return below zero even
+		// with the most favourable remaining choices kills the subtree.
+		for w := range feasPartial {
+			if feasPartial[w]+feasSuffix[w][depth] > 1e-12 {
+				return
+			}
+		}
+		// Optimality pruning: optimistic completion of min-over-cuts.
+		if len(t.opt) > 0 {
+			bound := math.Inf(1)
+			for v := range optPartial {
+				if b := optPartial[v] + optSuffix[v][depth]; b < bound {
+					bound = b
+				}
+			}
+			if bound <= bestPhi {
+				return
+			}
+		}
+		if depth == n {
+			phi := math.Inf(1)
+			for v := range optPartial {
+				if optPartial[v] < phi {
+					phi = optPartial[v]
+				}
+			}
+			if phi > bestPhi {
+				bestPhi = phi
+				bestIdx = append(bestIdx[:0], idx...)
+			}
+			return
+		}
+		for k := range t.levels[depth] {
+			idx[depth] = k
+			for v := range optPartial {
+				optPartial[v] += t.opt[v][depth][k]
+			}
+			for w := range feasPartial {
+				feasPartial[w] += t.feas[w][depth][k]
+			}
+			dfs(depth + 1)
+			for v := range optPartial {
+				optPartial[v] -= t.opt[v][depth][k]
+			}
+			for w := range feasPartial {
+				feasPartial[w] -= t.feas[w][depth][k]
+			}
+		}
+	}
+	dfs(0)
+	if bestIdx == nil {
+		return nil, 0, false
+	}
+	return s.gridF(t, bestIdx), bestPhi, true
+}

@@ -1,0 +1,116 @@
+package gbd
+
+import (
+	"math"
+	"testing"
+
+	"tradefl/internal/game"
+	"tradefl/internal/optimize"
+)
+
+// bruteForce exhaustively enumerates every CPU-grid point and solves the
+// exact water-fill primal at each, returning the true global maximum of
+// problem (18). Only viable for small instances; used to certify CGBD.
+func bruteForce(t *testing.T, cfg *game.Config) float64 {
+	t.Helper()
+	n := cfg.N()
+	scale := make([]float64, n)
+	rhoBar := make([]float64, n)
+	zs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		scale[i] = cfg.OmegaScale(i)
+		rhoBar[i] = cfg.RhoRowSum(i)
+		zs[i] = cfg.Weight(i)
+	}
+	best := math.Inf(-1)
+	f := make([]float64, n)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			lo := make([]float64, n)
+			hi := make([]float64, n)
+			w := make([]float64, n)
+			for i := 0; i < n; i++ {
+				dlo, dhi, ok := cfg.FeasibleD(i, f[i])
+				if !ok {
+					return
+				}
+				lo[i] = dlo * scale[i]
+				hi[i] = dhi * scale[i]
+				o := cfg.Orgs[i]
+				perD := (cfg.EnergyWeight*o.Comm.Kappa*f[i]*f[i]*o.Comm.CyclesPerBit*o.DataBits -
+					cfg.Gamma*rhoBar[i]*cfg.DataCredit(i)) / zs[i]
+				w[i] = perD / scale[i]
+			}
+			prob := &optimize.WaterFillProblem{
+				Phi:      cfg.Accuracy.Value,
+				PhiPrime: cfg.Accuracy.Derivative,
+				W:        w, Lo: lo, Hi: hi,
+			}
+			y, _, err := prob.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := make(game.Profile, n)
+			for i := range p {
+				p[i] = game.Strategy{D: y[i] / scale[i], F: f[i]}
+			}
+			if u := cfg.Potential(p); u > best {
+				best = u
+			}
+			return
+		}
+		for _, fi := range cfg.Orgs[k].CPULevels {
+			f[k] = fi
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// TestCGBDMatchesBruteForce certifies Lemma 3's optimality on instances
+// small enough for exhaustive enumeration: CGBD's potential must equal the
+// true global optimum within ε.
+func TestCGBDMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		cfg, err := game.DefaultConfig(game.GenOptions{Seed: seed, N: 4, CPUSteps: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Solve(cfg, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := bruteForce(t, cfg)
+		if math.Abs(res.Potential-want) > 1e-5*math.Max(1, math.Abs(want)) {
+			t.Errorf("seed %d: CGBD potential %v, brute force %v", seed, res.Potential, want)
+		}
+	}
+}
+
+// TestCGBDMatchesBruteForceTightDeadline repeats the certification with a
+// deadline that makes parts of the CPU grid infeasible (feasibility cuts
+// active).
+func TestCGBDMatchesBruteForceTightDeadline(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg, err := game.DefaultConfig(game.GenOptions{Seed: seed, N: 3, CPUSteps: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.DMin = 0.6
+		// Slow levels cannot fit DMin·s within the deadline.
+		cfg.Deadline = 0.5 + 0.6*25e9/4.2e9
+		res, err := Solve(cfg, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := bruteForce(t, cfg)
+		if math.Abs(res.Potential-want) > 1e-5*math.Max(1, math.Abs(want)) {
+			t.Errorf("seed %d: CGBD potential %v, brute force %v", seed, res.Potential, want)
+		}
+		if err := cfg.ValidProfile(res.Profile); err != nil {
+			t.Errorf("seed %d: infeasible CGBD profile: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package optimize provides the numerical routines TradeFL's solvers build
+// on: golden-section search and derivative bisection for one-dimensional
+// concave maximization, projected gradient ascent for box-constrained
+// concave problems, and an exact water-filling allocator for the separable
+// resource-allocation structure of the CGBD primal problem.
+//
+// All routines are deterministic and allocation-light; they are exercised on
+// hot paths by both CGBD and best-response dynamics.
+package optimize
+
+import (
+	"errors"
+	"math"
+)
+
+// invPhi is 1/φ where φ is the golden ratio.
+const invPhi = 0.6180339887498949
+
+// GoldenSection maximizes a unimodal (e.g. concave) function f over
+// [lo, hi] to within tol of the maximizer and returns (x*, f(x*)).
+// It degrades gracefully: for a non-unimodal f it still returns the best
+// point probed. tol must be positive.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc >= fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	fx = f(x)
+	// Keep the endpoints honest for functions maximized at the boundary.
+	if flo := f(lo); flo > fx {
+		x, fx = lo, flo
+	}
+	if fhi := f(hi); fhi > fx {
+		x, fx = hi, fhi
+	}
+	return x, fx
+}
+
+// BisectDecreasing finds a root of a nonincreasing function g on [lo, hi]
+// by bisection. It returns lo if g(lo) ≤ 0 and hi if g(hi) ≥ 0 (the root is
+// outside the interval); this is the behaviour concave maximization wants
+// when the derivative has constant sign on the box.
+func BisectDecreasing(g func(float64) float64, lo, hi, tol float64) float64 {
+	if g(lo) <= 0 {
+		return lo
+	}
+	if g(hi) >= 0 {
+		return hi
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if g(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Clip limits x to [lo, hi].
+func Clip(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}
+
+// PGOptions configures ProjectedGradient.
+type PGOptions struct {
+	// MaxIter bounds the iteration count (default 2000).
+	MaxIter int
+	// Tol stops when the projected step is shorter than Tol (default 1e-9).
+	Tol float64
+	// Step0 is the initial step size (default 1).
+	Step0 float64
+}
+
+func (o PGOptions) withDefaults() PGOptions {
+	if o.MaxIter == 0 {
+		o.MaxIter = 2000
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-9
+	}
+	if o.Step0 == 0 {
+		o.Step0 = 1
+	}
+	return o
+}
+
+// ErrDimensionMismatch is returned when box bounds and start point disagree.
+var ErrDimensionMismatch = errors.New("optimize: dimension mismatch")
+
+// ProjectedGradient maximizes a concave objective over the box [lo, hi]^n
+// by projected gradient ascent with backtracking (Armijo) line search.
+// value and grad evaluate the objective and its gradient. It returns the
+// final point and value. This is the generic fallback solver; the CGBD
+// primal uses the exact WaterFill allocator and the tests cross-check the
+// two against each other.
+func ProjectedGradient(value func([]float64) float64, grad func([]float64, []float64),
+	x0, lo, hi []float64, opts PGOptions) ([]float64, float64, error) {
+	n := len(x0)
+	if len(lo) != n || len(hi) != n {
+		return nil, 0, ErrDimensionMismatch
+	}
+	opts = opts.withDefaults()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = Clip(x0[i], lo[i], hi[i])
+	}
+	g := make([]float64, n)
+	cand := make([]float64, n)
+	fx := value(x)
+	step := opts.Step0
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		grad(x, g)
+		// Backtracking: find a step that improves the objective.
+		improved := false
+		for try := 0; try < 60; try++ {
+			var move float64
+			for i := range cand {
+				cand[i] = Clip(x[i]+step*g[i], lo[i], hi[i])
+				dd := cand[i] - x[i]
+				move += dd * dd
+			}
+			if move == 0 {
+				return x, fx, nil
+			}
+			fc := value(cand)
+			if fc > fx+1e-18 {
+				copy(x, cand)
+				fx = fc
+				improved = true
+				if math.Sqrt(move) < opts.Tol {
+					return x, fx, nil
+				}
+				step *= 1.3 // expand after success
+				break
+			}
+			step /= 2
+			if step < 1e-30 {
+				return x, fx, nil
+			}
+		}
+		if !improved {
+			return x, fx, nil
+		}
+	}
+	return x, fx, nil
+}
+
+// WaterFillProblem is the separable concave allocation
+//
+//	maximize  φ(Σ_i y_i) − Σ_i w_i·y_i   s.t.  y_i ∈ [Lo_i, Hi_i],
+//
+// where φ is concave and nondecreasing with derivative PhiPrime. This is
+// exactly the structure of the CGBD primal problem in d for fixed f (the
+// potential's accuracy term couples organizations only through Ω = Σ y_i,
+// and the energy/redistribution terms are linear in each d_i).
+type WaterFillProblem struct {
+	// Phi is φ(Ω); PhiPrime its derivative (nonincreasing, ≥ 0).
+	Phi      func(float64) float64
+	PhiPrime func(float64) float64
+	// W is the per-unit linear cost of each variable.
+	W []float64
+	// Lo, Hi are the box bounds (Lo_i ≤ Hi_i required).
+	Lo, Hi []float64
+	// Tol is the bisection tolerance on Ω (default 1e-9·ΣHi).
+	Tol float64
+}
+
+// Solve computes the exact maximizer by greedy marginal-cost water-filling:
+// variables are filled in ascending cost order while φ'(Ω) exceeds their
+// cost. Runs in O(n log n + n·log(1/tol)). Returns the allocation and the
+// objective value.
+func (p *WaterFillProblem) Solve() ([]float64, float64, error) {
+	n := len(p.W)
+	if len(p.Lo) != n || len(p.Hi) != n {
+		return nil, 0, ErrDimensionMismatch
+	}
+	for i := 0; i < n; i++ {
+		if p.Hi[i] < p.Lo[i] {
+			return nil, 0, errors.New("optimize: water-fill bounds empty")
+		}
+	}
+	y := make([]float64, n)
+	omega := 0.0
+	var hiSum float64
+	for i := 0; i < n; i++ {
+		y[i] = p.Lo[i]
+		omega += p.Lo[i]
+		hiSum += p.Hi[i]
+	}
+	tol := p.Tol
+	if tol == 0 {
+		tol = 1e-9 * math.Max(1, hiSum)
+	}
+	// Ascending cost order.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sortByCost(order, p.W)
+	for _, i := range order {
+		room := p.Hi[i] - p.Lo[i]
+		if room <= 0 {
+			continue
+		}
+		w := p.W[i]
+		// Fill while marginal gain φ'(Ω) exceeds marginal cost w.
+		if p.PhiPrime(omega) <= w {
+			// Costs are ascending and φ' is nonincreasing: nothing later
+			// can be profitable either, but a later variable can have a
+			// *negative* cost only if sorting put it earlier, so we may
+			// simply stop.
+			break
+		}
+		if p.PhiPrime(omega+room) >= w {
+			y[i] = p.Hi[i]
+			omega += room
+			continue
+		}
+		// Interior: find Δ with φ'(Ω+Δ) = w.
+		delta := BisectDecreasing(func(t float64) float64 {
+			return p.PhiPrime(omega+t) - w
+		}, 0, room, tol)
+		y[i] = p.Lo[i] + delta
+		omega += delta
+		break
+	}
+	return y, p.Value(y), nil
+}
+
+// Value evaluates the water-fill objective at y.
+func (p *WaterFillProblem) Value(y []float64) float64 {
+	var omega, cost float64
+	for i, v := range y {
+		omega += v
+		cost += p.W[i] * v
+	}
+	return p.Phi(omega) - cost
+}
+
+// sortByCost sorts the index slice ascending by W (insertion sort; n is
+// small — the organization count).
+func sortByCost(order []int, w []float64) {
+	for i := 1; i < len(order); i++ {
+		k := order[i]
+		j := i - 1
+		for j >= 0 && w[order[j]] > w[k] {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = k
+	}
+}

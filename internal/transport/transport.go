@@ -1,0 +1,264 @@
+// Package transport provides the message-passing fabric the distributed
+// DBR engine runs on: a process-local in-memory hub for simulations and
+// tests, and a TCP implementation (length-delimited JSON frames) for true
+// multi-process deployments. Both implement the same Transport interface,
+// so the DBR protocol code is identical in either setting — matching the
+// paper's claim that organizations decide autonomously "without the need
+// for interaction with a central parameter server".
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Message is one unit of protocol traffic.
+type Message struct {
+	// From names the sending endpoint.
+	From string `json:"from"`
+	// Type tags the protocol message kind.
+	Type string `json:"type"`
+	// Payload carries the JSON-encoded protocol body.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Transport is a named endpoint that can send to peers and receive.
+type Transport interface {
+	// Name returns this endpoint's name.
+	Name() string
+	// Send delivers msg to the named peer.
+	Send(to string, msg Message) error
+	// Receive returns the channel of inbound messages. It is closed when
+	// the transport closes.
+	Receive() <-chan Message
+	// Close releases resources and closes the receive channel.
+	Close() error
+}
+
+// ErrUnknownPeer is returned when sending to an unregistered endpoint.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// ErrClosed is returned when using a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Hub is an in-memory switchboard connecting named endpoints.
+type Hub struct {
+	mu        sync.RWMutex
+	endpoints map[string]*hubEndpoint
+}
+
+// NewHub creates an empty hub.
+func NewHub() *Hub {
+	return &Hub{endpoints: make(map[string]*hubEndpoint)}
+}
+
+// Endpoint registers (or returns an error for a duplicate) a named
+// endpoint with the given inbound buffer size.
+func (h *Hub) Endpoint(name string, buffer int) (Transport, error) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.endpoints[name]; dup {
+		return nil, fmt.Errorf("transport: duplicate endpoint %q", name)
+	}
+	ep := &hubEndpoint{hub: h, name: name, inbox: make(chan Message, buffer)}
+	h.endpoints[name] = ep
+	return ep, nil
+}
+
+type hubEndpoint struct {
+	hub    *Hub
+	name   string
+	inbox  chan Message
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Transport = (*hubEndpoint)(nil)
+
+func (e *hubEndpoint) Name() string { return e.name }
+
+func (e *hubEndpoint) Send(to string, msg Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.mu.Unlock()
+	msg.From = e.name
+	e.hub.mu.RLock()
+	peer, ok := e.hub.endpoints[to]
+	e.hub.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	peer.deliver(msg)
+	return nil
+}
+
+// deliver enqueues msg unless the peer has closed.
+func (e *hubEndpoint) deliver(msg Message) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.inbox <- msg
+}
+
+func (e *hubEndpoint) Receive() <-chan Message { return e.inbox }
+
+func (e *hubEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	close(e.inbox)
+	e.hub.mu.Lock()
+	delete(e.hub.endpoints, e.name)
+	e.hub.mu.Unlock()
+	return nil
+}
+
+// TCPNode is a Transport over TCP with one listener per endpoint and
+// newline-delimited JSON frames. Peers are registered by name → address.
+type TCPNode struct {
+	name  string
+	ln    net.Listener
+	inbox chan Message
+
+	mu     sync.Mutex
+	peers  map[string]string
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ Transport = (*TCPNode)(nil)
+
+// NewTCPNode listens on addr ("127.0.0.1:0" for an ephemeral port).
+func NewTCPNode(name, addr string, buffer int) (*TCPNode, error) {
+	if buffer < 1 {
+		buffer = 64
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	n := &TCPNode{
+		name:  name,
+		ln:    ln,
+		inbox: make(chan Message, buffer),
+		peers: make(map[string]string),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address for peer registration.
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// RegisterPeer maps a peer name to its listen address.
+func (n *TCPNode) RegisterPeer(name, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[name] = addr
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go n.readConn(conn)
+	}
+}
+
+func (n *TCPNode) readConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for scanner.Scan() {
+		var msg Message
+		if err := json.Unmarshal(scanner.Bytes(), &msg); err != nil {
+			continue // drop malformed frames
+		}
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case n.inbox <- msg:
+		default:
+			// Inbox full: drop rather than deadlock the reader; the DBR
+			// protocol is token-based and resends on timeout.
+		}
+	}
+}
+
+func (n *TCPNode) Name() string { return n.name }
+
+// Send dials the peer and writes one frame. Dial-per-message keeps the
+// implementation simple and robust for the protocol's low message rate.
+func (n *TCPNode) Send(to string, msg Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	addr, ok := n.peers[to]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	msg.From = n.name
+	raw, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("transport: marshal: %w", err)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", to, err)
+	}
+	defer conn.Close()
+	if err := conn.SetWriteDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		return err
+	}
+	if _, err := conn.Write(append(raw, '\n')); err != nil {
+		return fmt.Errorf("transport: write to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (n *TCPNode) Receive() <-chan Message { return n.inbox }
+
+// Close stops the listener, waits for reader goroutines and closes the
+// inbox.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	err := n.ln.Close()
+	n.wg.Wait()
+	close(n.inbox)
+	return err
+}

@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestHubDelivery(t *testing.T) {
+	hub := NewHub()
+	a, err := hub.Endpoint("a", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hub.Endpoint("b", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := json.Marshal(map[string]int{"x": 1})
+	if err := a.Send("b", Message{Type: "test", Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-b.Receive():
+		if msg.From != "a" || msg.Type != "test" {
+			t.Errorf("got %+v", msg)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestHubUnknownPeer(t *testing.T) {
+	hub := NewHub()
+	a, _ := hub.Endpoint("a", 1)
+	if err := a.Send("ghost", Message{Type: "x"}); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestHubDuplicateEndpoint(t *testing.T) {
+	hub := NewHub()
+	if _, err := hub.Endpoint("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Endpoint("a", 1); err == nil {
+		t.Error("duplicate endpoint accepted")
+	}
+}
+
+func TestHubCloseSemantics(t *testing.T) {
+	hub := NewHub()
+	a, _ := hub.Endpoint("a", 1)
+	b, _ := hub.Endpoint("b", 1)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Receive channel closes.
+	if _, ok := <-b.Receive(); ok {
+		t.Error("closed endpoint still receiving")
+	}
+	// Sending to a removed endpoint errors.
+	if err := a.Send("b", Message{Type: "x"}); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer after close", err)
+	}
+	// Sending from a closed endpoint errors.
+	if err := b.Send("a", Message{Type: "x"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	// Double close is a no-op.
+	if err := b.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, err := NewTCPNode("a", "127.0.0.1:0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPNode("b", "127.0.0.1:0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.RegisterPeer("b", b.Addr())
+	b.RegisterPeer("a", a.Addr())
+
+	payload, _ := json.Marshal("ping")
+	if err := a.Send("b", Message{Type: "ping", Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-b.Receive():
+		if msg.From != "a" || msg.Type != "ping" {
+			t.Errorf("got %+v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("tcp message not delivered")
+	}
+	// Reply path.
+	if err := b.Send("a", Message{Type: "pong"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-a.Receive():
+		if msg.Type != "pong" {
+			t.Errorf("got %+v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("tcp reply not delivered")
+	}
+}
+
+func TestTCPUnknownPeerAndClosed(t *testing.T) {
+	a, err := NewTCPNode("a", "127.0.0.1:0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("ghost", Message{Type: "x"}); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v, want ErrUnknownPeer", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("ghost", Message{Type: "x"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestTCPManyMessagesInOrderTolerant(t *testing.T) {
+	a, err := NewTCPNode("a", "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPNode("b", "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.RegisterPeer("b", b.Addr())
+	const n = 20
+	for i := 0; i < n; i++ {
+		payload, _ := json.Marshal(i)
+		if err := a.Send("b", Message{Type: "seq", Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[int]bool{}
+	timeout := time.After(5 * time.Second)
+	for len(got) < n {
+		select {
+		case msg := <-b.Receive():
+			var v int
+			if err := json.Unmarshal(msg.Payload, &v); err != nil {
+				t.Fatal(err)
+			}
+			got[v] = true
+		case <-timeout:
+			t.Fatalf("received only %d/%d messages", len(got), n)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package tradefl is a Go implementation of TradeFL, the trading mechanism
+// for cross-silo federated learning of Yuan et al. (ICDCS 2023).
+//
+// TradeFL incentivizes competing organizations ("coopetition") to
+// contribute data and computation to federated training by redistributing
+// payoffs from small contributors to large ones (Eq. 9-11 of the paper),
+// proves the induced game is a weighted potential game, computes the Nash
+// equilibrium with a centralized (CGBD) or distributed (DBR) algorithm, and
+// settles the transfers credibly through a smart contract on a private
+// blockchain.
+//
+// # Quick start
+//
+//	cfg, err := tradefl.DefaultConfig(tradefl.GenOptions{Seed: 7})
+//	if err != nil { ... }
+//	mech, err := tradefl.New(cfg)
+//	if err != nil { ... }
+//	res, err := mech.Run(ctx, tradefl.Options{Settle: true})
+//	fmt.Println(res.SocialWelfare, res.Nash)
+//
+// The facade re-exports the library's primary types; the full substrates
+// (game model, solvers, FL simulator, blockchain, transports, experiment
+// harness) live under internal/ and are exercised through Mechanism,
+// the cmd/ binaries and the examples/ programs.
+package tradefl
+
+import (
+	"tradefl/internal/accuracy"
+	"tradefl/internal/baselines"
+	"tradefl/internal/core"
+	"tradefl/internal/game"
+)
+
+// Core game types (Sec. III-IV of the paper).
+type (
+	// Config is a fully specified coopetition game instance.
+	Config = game.Config
+	// Organization describes one cross-silo FL participant.
+	Organization = game.Organization
+	// Strategy is π_i = {d_i, f_i}.
+	Strategy = game.Strategy
+	// Profile is a full strategy profile π.
+	Profile = game.Profile
+	// GenOptions parameterizes DefaultConfig generation.
+	GenOptions = game.GenOptions
+	// NashReport is the result of an equilibrium audit.
+	NashReport = game.NashReport
+	// Personalization configures the personalization extension (the
+	// paper's Sec. VII future work); the zero value reproduces the paper's
+	// base model.
+	Personalization = game.Personalization
+)
+
+// Mechanism orchestration types.
+type (
+	// Mechanism is a configured TradeFL instance.
+	Mechanism = core.Mechanism
+	// Options configures a mechanism run.
+	Options = core.Options
+	// Result is the outcome of one mechanism run.
+	Result = core.Result
+	// SettlementReport summarizes on-chain settlement.
+	SettlementReport = core.SettlementReport
+	// Solver selects the equilibrium algorithm.
+	Solver = core.Solver
+	// Scheme names a solution scheme (DBR, CGBD, and the baselines).
+	Scheme = baselines.Scheme
+	// Outcome is the uniform result of running a scheme.
+	Outcome = baselines.Outcome
+)
+
+// AccuracyModel is the pluggable data-accuracy function P(Ω); TradeFL
+// assumes no specific functional form, only the shape property of Eq. (5).
+type AccuracyModel = accuracy.Model
+
+// Solver choices.
+const (
+	// SolverDBR is distributed best response (Algorithm 2), run locally.
+	SolverDBR = core.SolverDBR
+	// SolverCGBD is the centralized GBD algorithm (Algorithm 1).
+	SolverCGBD = core.SolverCGBD
+	// SolverDistributedDBR runs Algorithm 2 as a message-passing protocol.
+	SolverDistributedDBR = core.SolverDistributedDBR
+)
+
+// Scheme identifiers of the paper's evaluation (Sec. VI).
+const (
+	SchemeCGBD = baselines.SchemeCGBD
+	SchemeDBR  = baselines.SchemeDBR
+	SchemeWPR  = baselines.SchemeWPR
+	SchemeGCA  = baselines.SchemeGCA
+	SchemeFIP  = baselines.SchemeFIP
+	SchemeTOS  = baselines.SchemeTOS
+)
+
+// DefaultConfig draws a game instance from the paper's Table II parameter
+// ranges; see game.GenOptions for the knobs.
+func DefaultConfig(opts GenOptions) (*Config, error) {
+	return game.DefaultConfig(opts)
+}
+
+// New validates the game config and returns a mechanism.
+func New(cfg *Config) (*Mechanism, error) {
+	return core.New(cfg)
+}
+
+// NewSqrtLossAccuracy returns the paper's footnote-7 accuracy bound
+// A(Ω) = 1/√(Ω·G) + 1/G with P(Ω) = a0 − A(Ω).
+func NewSqrtLossAccuracy(epochs, a0 float64) AccuracyModel {
+	return accuracy.NewSqrtLoss(epochs, a0)
+}
+
+// NewPowerLawAccuracy returns P(Ω) = a·Ω^b, 0 < b < 1.
+func NewPowerLawAccuracy(a, b float64) (AccuracyModel, error) {
+	return accuracy.NewPowerLaw(a, b)
+}
+
+// NewLogSaturationAccuracy returns P(Ω) = a·log(1 + Ω/c).
+func NewLogSaturationAccuracy(a, c float64) (AccuracyModel, error) {
+	return accuracy.NewLogSaturation(a, c)
+}

@@ -1,0 +1,99 @@
+package tradefl_test
+
+import (
+	"context"
+	"testing"
+
+	"tradefl"
+)
+
+// TestFacadeQuickstart exercises the documented public API end to end:
+// generate a Table II instance, run the mechanism with settlement, check
+// the headline properties.
+func TestFacadeQuickstart(t *testing.T) {
+	cfg, err := tradefl.DefaultConfig(tradefl.GenOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := tradefl.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mech.Run(context.Background(), tradefl.Options{Settle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Nash.IsNash {
+		t.Errorf("not a Nash equilibrium: %v", res.Nash)
+	}
+	if res.SocialWelfare <= 0 {
+		t.Errorf("social welfare %v", res.SocialWelfare)
+	}
+	if res.Settlement == nil || !res.Settlement.Verified {
+		t.Error("settlement missing or unverified")
+	}
+}
+
+func TestFacadeSolvers(t *testing.T) {
+	cfg, err := tradefl.DefaultConfig(tradefl.GenOptions{Seed: 3, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := tradefl.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, solver := range []tradefl.Solver{tradefl.SolverDBR, tradefl.SolverCGBD, tradefl.SolverDistributedDBR} {
+		if _, err := mech.Run(context.Background(), tradefl.Options{Solver: solver}); err != nil {
+			t.Errorf("solver %v: %v", solver, err)
+		}
+	}
+}
+
+func TestFacadeAccuracyModels(t *testing.T) {
+	pl, err := tradefl.NewPowerLawAccuracy(0.2, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := tradefl.NewLogSaturationAccuracy(0.12, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []tradefl.AccuracyModel{tradefl.NewSqrtLossAccuracy(5, 1.1), pl, ls} {
+		cfg, err := tradefl.DefaultConfig(tradefl.GenOptions{Seed: 2, Accuracy: m})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		mech, err := tradefl.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mech.Run(context.Background(), tradefl.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if !res.Nash.IsNash {
+			t.Errorf("%s: equilibrium not reached: %v", m.Name(), res.Nash)
+		}
+	}
+}
+
+func TestFacadeCompareSchemes(t *testing.T) {
+	cfg, err := tradefl.DefaultConfig(tradefl.GenOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := tradefl.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mech.CompareSchemes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []tradefl.Scheme{tradefl.SchemeCGBD, tradefl.SchemeDBR, tradefl.SchemeWPR, tradefl.SchemeGCA, tradefl.SchemeFIP, tradefl.SchemeTOS} {
+		if _, ok := out[s]; !ok {
+			t.Errorf("missing scheme %s", s)
+		}
+	}
+}
