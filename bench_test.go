@@ -10,6 +10,7 @@ package tradefl
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"tradefl/internal/accuracy"
@@ -132,7 +133,9 @@ func BenchmarkFig15_Accuracy(b *testing.B) {
 // --- Ablation benches (DESIGN.md §5) -----------------------------------
 
 // BenchmarkAblation_MasterSolvers compares the paper's exhaustive traversal
-// against the pruned depth-first master-problem solver.
+// against the pruned depth-first master-problem solver, each at Workers=1
+// (exact serial path) and Workers=GOMAXPROCS (sharded search; identical
+// output, see internal/gbd/parallel_test.go).
 func BenchmarkAblation_MasterSolvers(b *testing.B) {
 	for _, tc := range []struct {
 		name   string
@@ -141,19 +144,31 @@ func BenchmarkAblation_MasterSolvers(b *testing.B) {
 		{"traversal", gbd.MasterTraversal},
 		{"pruned", gbd.MasterPruned},
 	} {
-		b.Run(tc.name, func(b *testing.B) {
-			cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, NoOrgName: true})
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := gbd.Solve(cfg, gbd.Options{Master: tc.master}); err != nil {
+		for _, workers := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(b *testing.B) {
+				cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, NoOrgName: true})
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := gbd.Solve(cfg, gbd.Options{Master: tc.master, Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
+}
+
+// benchWorkerCounts returns {1} on a single-core host and {1, GOMAXPROCS}
+// otherwise, so serial and parallel variants are only both timed when
+// they can actually differ.
+func benchWorkerCounts() []int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
 }
 
 // BenchmarkAblation_AccuracyModels runs DBR under every data-accuracy form,
@@ -240,16 +255,20 @@ func BenchmarkPayoffs(b *testing.B) {
 }
 
 func BenchmarkBestResponse(b *testing.B) {
-	cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, NoOrgName: true})
-	if err != nil {
-		b.Fatal(err)
-	}
-	p := cfg.MinimalProfile()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, ok := dbr.BestResponse(cfg, p, i%cfg.N(), 1e-7); !ok {
-			b.Fatal("no feasible response")
-		}
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, NoOrgName: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := cfg.MinimalProfile()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, ok := dbr.BestResponseWorkers(cfg, p, i%cfg.N(), 1e-7, workers); !ok {
+					b.Fatal("no feasible response")
+				}
+			}
+		})
 	}
 }
 
@@ -454,18 +473,27 @@ func BenchmarkChainTxThroughput(b *testing.B) {
 }
 
 // BenchmarkTensorMatMul measures the dense kernel the FL simulator spends
-// most of its time in.
+// most of its time in, at two sizes and both worker settings (row-parallel
+// dispatch engages above the flop threshold; results are byte-identical).
 func BenchmarkTensorMatMul(b *testing.B) {
-	src := randx.New(2)
-	a := tensor.New(64, 64)
-	c := tensor.New(64, 64)
-	dst := tensor.New(64, 64)
-	a.RandomizeXavier(src)
-	c.RandomizeXavier(src)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := tensor.MatMul(dst, a, c); err != nil {
-			b.Fatal(err)
+	for _, size := range []int{64, 256} {
+		for _, workers := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", size, workers), func(b *testing.B) {
+				defer tensor.SetWorkers(0)
+				tensor.SetWorkers(workers)
+				src := randx.New(2)
+				a := tensor.New(size, size)
+				c := tensor.New(size, size)
+				dst := tensor.New(size, size)
+				a.RandomizeXavier(src)
+				c.RandomizeXavier(src)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := tensor.MatMul(dst, a, c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

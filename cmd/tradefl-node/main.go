@@ -25,6 +25,7 @@ import (
 
 	"tradefl/internal/dbr"
 	"tradefl/internal/game"
+	"tradefl/internal/parallel"
 	"tradefl/internal/transport"
 )
 
@@ -45,10 +46,12 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 7, "seed of the shared game instance")
 		timeout  = fs.Duration("timeout", 2*time.Minute, "protocol deadline")
 		recovery = fs.Duration("recovery", 10*time.Second, "token-timeout crash recovery (0 disables)")
+		workers  = fs.Int("workers", 0, "best-response worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetDefault(*workers)
 	cfg, err := game.DefaultConfig(game.GenOptions{Seed: *seed})
 	if err != nil {
 		return err

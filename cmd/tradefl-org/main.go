@@ -26,6 +26,7 @@ import (
 	"tradefl/internal/chain"
 	"tradefl/internal/dbr"
 	"tradefl/internal/game"
+	"tradefl/internal/parallel"
 	"tradefl/internal/randx"
 )
 
@@ -47,10 +48,12 @@ func run(args []string) error {
 		commit  = fs.Bool("commit", false, "use commit-reveal contribution reporting (all members must)")
 		poll    = fs.Duration("poll", 500*time.Millisecond, "status poll interval")
 		timeout = fs.Duration("timeout", 2*time.Minute, "settlement deadline")
+		workers = fs.Int("workers", 0, "best-response worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetDefault(*workers)
 	cfg, err := game.DefaultConfig(game.GenOptions{Seed: *seed})
 	if err != nil {
 		return err

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 
 	"tradefl/internal/experiments"
+	"tradefl/internal/parallel"
 )
 
 func main() {
@@ -27,17 +28,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tradefl-sim", flag.ContinueOnError)
 	var (
-		fig   = fs.String("fig", "", "experiment id to run (see -list)")
-		all   = fs.Bool("all", false, "run every experiment")
-		list  = fs.Bool("list", false, "list experiment ids")
-		seed  = fs.Int64("seed", 7, "random seed of the reference instance")
-		quick = fs.Bool("quick", false, "coarse sweeps and short FL runs")
-		out   = fs.String("out", "", "directory for CSV files (default stdout)")
-		plot  = fs.Bool("plot", false, "render terminal charts instead of CSV")
+		fig     = fs.String("fig", "", "experiment id to run (see -list)")
+		all     = fs.Bool("all", false, "run every experiment")
+		list    = fs.Bool("list", false, "list experiment ids")
+		seed    = fs.Int64("seed", 7, "random seed of the reference instance")
+		quick   = fs.Bool("quick", false, "coarse sweeps and short FL runs")
+		out     = fs.String("out", "", "directory for CSV files (default stdout)")
+		plot    = fs.Bool("plot", false, "render terminal charts instead of CSV")
+		workers = fs.Int("workers", 0, "solver/kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetDefault(*workers)
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)

@@ -56,6 +56,12 @@ type Options struct {
 	Rounds, LocalEpochs int
 	// Seed drives chain account generation and FL data (default 1).
 	Seed int64
+	// Workers bounds the solver worker pools (master-problem search shards
+	// and best-response candidate scans). 0 uses the process default
+	// (GOMAXPROCS); 1 forces the exact serial code paths. It fills
+	// DBR.Workers and GBD.Workers unless those are set explicitly; solver
+	// outputs are byte-identical for every worker count.
+	Workers int
 	// DBR passes through Algorithm 2 options.
 	DBR dbr.Options
 	// GBD passes through Algorithm 1 options.
@@ -80,6 +86,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Workers != 0 {
+		if o.DBR.Workers == 0 {
+			o.DBR.Workers = o.Workers
+		}
+		if o.GBD.Workers == 0 {
+			o.GBD.Workers = o.Workers
+		}
 	}
 	return o
 }

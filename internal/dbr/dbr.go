@@ -21,6 +21,7 @@ import (
 
 	"tradefl/internal/game"
 	"tradefl/internal/optimize"
+	"tradefl/internal/parallel"
 )
 
 // Options configures the local solver and the distributed protocol nodes.
@@ -37,6 +38,13 @@ type Options struct {
 	// re-forwards it, skipping unreachable peers. Zero disables recovery
 	// (used by the in-process engine, where peers cannot crash).
 	TokenTimeout time.Duration
+	// Workers bounds the goroutines that evaluate one organization's
+	// best-response candidates (its CPU levels) concurrently. Candidates
+	// within one scan are independent — organizations still update
+	// sequentially, preserving the game semantics of Algorithm 2. 0 uses
+	// the process default (GOMAXPROCS); 1 runs the exact serial code path.
+	// Results are byte-identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -73,29 +81,68 @@ type Result struct {
 // golden-section search) and returns the best (strategy, payoff) pair.
 // ok is false when no CPU level admits a feasible d.
 func BestResponse(cfg *game.Config, p game.Profile, i int, dTol float64) (game.Strategy, float64, bool) {
+	return BestResponseWorkers(cfg, p, i, dTol, 1)
+}
+
+// candidate is the outcome of maximizing the payoff at one CPU level.
+type candidate struct {
+	s        game.Strategy
+	val      float64
+	feasible bool
+}
+
+// BestResponseWorkers is BestResponse with the per-CPU-level candidate
+// solves fanned out over at most workers goroutines (0 = process default).
+// Each candidate owns a private scratch profile; candidates reduce in CPU-
+// level order with the serial strictly-greater tie-break, so the returned
+// strategy is byte-identical to BestResponse for every worker count.
+func BestResponseWorkers(cfg *game.Config, p game.Profile, i int, dTol float64, workers int) (game.Strategy, float64, bool) {
 	if dTol <= 0 {
 		dTol = 1e-7
 	}
+	levels := cfg.Orgs[i].CPULevels
+	workers = parallel.Resolve(workers)
+	if workers > 1 && len(levels) > 1 {
+		return reduceCandidates(parallel.Map(workers, len(levels), func(k int) candidate {
+			return solveCandidate(cfg, p.Clone(), i, levels[k], dTol)
+		}))
+	}
 	work := p.Clone()
+	cands := make([]candidate, len(levels))
+	for k, f := range levels {
+		cands[k] = solveCandidate(cfg, work, i, f, dTol)
+	}
+	work[i] = p[i]
+	return reduceCandidates(cands)
+}
+
+// solveCandidate maximizes organization i's payoff over the feasible data
+// interval at the fixed CPU level f, mutating work[i] as scratch.
+func solveCandidate(cfg *game.Config, work game.Profile, i int, f, dTol float64) candidate {
+	lo, hi, feasible := cfg.FeasibleD(i, f)
+	if !feasible {
+		return candidate{}
+	}
+	d, val := optimize.GoldenSection(func(d float64) float64 {
+		work[i] = game.Strategy{D: d, F: f}
+		return cfg.Payoff(i, work)
+	}, lo, hi, dTol)
+	return candidate{s: game.Strategy{D: d, F: f}, val: val, feasible: true}
+}
+
+// reduceCandidates folds candidates in CPU-level order with the serial
+// strictly-greater comparison.
+func reduceCandidates(cands []candidate) (game.Strategy, float64, bool) {
 	bestVal := math.Inf(-1)
 	var best game.Strategy
 	found := false
-	for _, f := range cfg.Orgs[i].CPULevels {
-		lo, hi, feasible := cfg.FeasibleD(i, f)
-		if !feasible {
-			continue
-		}
-		d, val := optimize.GoldenSection(func(d float64) float64 {
-			work[i] = game.Strategy{D: d, F: f}
-			return cfg.Payoff(i, work)
-		}, lo, hi, dTol)
-		if val > bestVal {
-			bestVal = val
-			best = game.Strategy{D: d, F: f}
+	for _, c := range cands {
+		if c.feasible && c.val > bestVal {
+			bestVal = c.val
+			best = c.s
 			found = true
 		}
 	}
-	work[i] = p[i]
 	return best, bestVal, found
 }
 
@@ -122,7 +169,7 @@ func Solve(cfg *game.Config, start game.Profile, opts Options) (*Result, error) 
 		changed := false
 		for i := range cfg.Orgs {
 			cur := cfg.Payoff(i, p)
-			next, val, ok := BestResponse(cfg, p, i, opts.DTol)
+			next, val, ok := BestResponseWorkers(cfg, p, i, opts.DTol, opts.Workers)
 			if !ok {
 				continue
 			}

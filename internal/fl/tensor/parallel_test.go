@@ -1,0 +1,176 @@
+package tensor
+
+import (
+	"testing"
+
+	"tradefl/internal/randx"
+)
+
+// The naive references reproduce the kernels' per-element accumulation
+// order (ascending k or i, zero products skipped where the kernel skips
+// them), so the comparisons below can demand byte-identical results.
+
+func naiveMatMul(dst, a, b *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var sum float64
+			for k := 0; k < a.Cols; k++ {
+				if av := a.At(i, k); av != 0 {
+					sum += av * b.At(k, j)
+				}
+			}
+			dst.Set(i, j, sum)
+		}
+	}
+}
+
+func naiveMatMulATB(dst, a, b *Matrix) {
+	for k := 0; k < a.Cols; k++ {
+		for j := 0; j < b.Cols; j++ {
+			var sum float64
+			for i := 0; i < a.Rows; i++ {
+				if av := a.At(i, k); av != 0 {
+					sum += av * b.At(i, j)
+				}
+			}
+			dst.Set(k, j, sum)
+		}
+	}
+}
+
+func naiveMatMulABT(dst, a, b *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var sum float64
+			for k := 0; k < a.Cols; k++ {
+				sum += a.At(i, k) * b.At(j, k)
+			}
+			dst.Set(i, j, sum)
+		}
+	}
+}
+
+func random(rows, cols int, src *randx.Source) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = src.Uniform(-1, 1)
+		if i%17 == 0 {
+			m.Data[i] = 0 // exercise the zero-skip branch
+		}
+	}
+	return m
+}
+
+func equalExact(t *testing.T, name string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape (%d,%d) != (%d,%d)", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range got.Data {
+		if v != want.Data[i] {
+			t.Fatalf("%s: element %d = %v, want %v (must be byte-identical)", name, i, v, want.Data[i])
+		}
+	}
+}
+
+// TestKernelsMatchNaiveReference checks all three kernels against the
+// reference loops for every worker count on shapes spanning the dispatch
+// threshold and straddling kernelBlock boundaries.
+func TestKernelsMatchNaiveReference(t *testing.T) {
+	defer SetWorkers(0)
+	src := randx.New(11)
+	for _, sh := range []struct{ m, k, n int }{
+		{1, 1, 1},
+		{3, 5, 7},
+		{16, 16, 16},
+		{63, 65, 67},
+		{64, 64, 64},
+		{128, 33, 90},
+		{200, 128, 10},
+	} {
+		a := random(sh.m, sh.k, src)  // m×k
+		b := random(sh.k, sh.n, src)  // k×n
+		g := random(sh.m, sh.n, src)  // m×n (gradient-shaped)
+		bt := random(sh.n, sh.k, src) // n×k (transposed-b for ABT)
+
+		wantMul := New(sh.m, sh.n)
+		naiveMatMul(wantMul, a, b)
+		wantATB := New(sh.k, sh.n)
+		naiveMatMulATB(wantATB, a, g)
+		wantABT := New(sh.m, sh.n)
+		naiveMatMulABT(wantABT, a, bt)
+
+		for _, workers := range []int{1, 2, 8} {
+			SetWorkers(workers)
+
+			gotMul := New(sh.m, sh.n)
+			if err := MatMul(gotMul, a, b); err != nil {
+				t.Fatalf("MatMul %+v workers %d: %v", sh, workers, err)
+			}
+			equalExact(t, "MatMul", gotMul, wantMul)
+
+			gotATB := New(sh.k, sh.n)
+			if err := MatMulATB(gotATB, a, g); err != nil {
+				t.Fatalf("MatMulATB %+v workers %d: %v", sh, workers, err)
+			}
+			equalExact(t, "MatMulATB", gotATB, wantATB)
+
+			gotABT := New(sh.m, sh.n)
+			if err := MatMulABT(gotABT, a, bt); err != nil {
+				t.Fatalf("MatMulABT %+v workers %d: %v", sh, workers, err)
+			}
+			equalExact(t, "MatMulABT", gotABT, wantABT)
+		}
+	}
+}
+
+// TestKernelsSerialVsParallel compares Workers=1 output directly against
+// Workers=8 for threshold-crossing sizes with odd block remainders.
+func TestKernelsSerialVsParallel(t *testing.T) {
+	defer SetWorkers(0)
+	src := randx.New(29)
+	for _, sh := range []struct{ m, k, n int }{
+		{5, 9, 4},       // below threshold: inline path
+		{80, 70, 60},    // above threshold
+		{129, 257, 100}, // multiple blocks, odd remainders
+	} {
+		a := random(sh.m, sh.k, src)
+		b := random(sh.k, sh.n, src)
+		g := random(sh.m, sh.n, src)
+		bt := random(sh.n, sh.k, src)
+
+		kernels := []struct {
+			name string
+			run  func() *Matrix
+		}{
+			{"MatMul", func() *Matrix {
+				dst := New(sh.m, sh.n)
+				if err := MatMul(dst, a, b); err != nil {
+					t.Fatal(err)
+				}
+				return dst
+			}},
+			{"MatMulATB", func() *Matrix {
+				dst := New(sh.k, sh.n)
+				if err := MatMulATB(dst, a, g); err != nil {
+					t.Fatal(err)
+				}
+				return dst
+			}},
+			{"MatMulABT", func() *Matrix {
+				dst := New(sh.m, sh.n)
+				if err := MatMulABT(dst, a, bt); err != nil {
+					t.Fatal(err)
+				}
+				return dst
+			}},
+		}
+		for _, kn := range kernels {
+			SetWorkers(1)
+			serial := kn.run()
+			SetWorkers(8)
+			par := kn.run()
+			equalExact(t, kn.name, par, serial)
+		}
+	}
+}

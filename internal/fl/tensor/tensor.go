@@ -1,16 +1,82 @@
 // Package tensor provides the dense float64 matrix kernels that the FL
 // simulator's neural-network models are built on. It is deliberately small:
 // row-major matrices, the handful of BLAS-like operations training needs,
-// and nothing else. All operations are deterministic.
+// and nothing else. All operations are deterministic: the matmul kernels
+// are cache-blocked and dispatch disjoint output-row ranges to a bounded
+// worker pool above a size threshold, and every output element accumulates
+// its products in the same order as the serial triple loop, so results are
+// byte-identical for every worker count.
 package tensor
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"tradefl/internal/parallel"
 	"tradefl/internal/randx"
 )
+
+// Cache-blocking panel sizes (rows of the streamed operand kept hot per
+// panel) and the flop count below which dispatching goroutines costs more
+// than it saves.
+const (
+	kernelBlock      = 64
+	minParallelFlops = 1 << 16
+)
+
+// kernelWorkers overrides the worker count of the matmul kernels when
+// positive; 0 defers to parallel.Default().
+var kernelWorkers atomic.Int64
+
+// SetWorkers bounds the goroutines used by the matmul kernels: 1 forces
+// the serial path, 0 restores the process default (GOMAXPROCS).
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	kernelWorkers.Store(int64(n))
+}
+
+// Workers returns the effective kernel worker count.
+func Workers() int {
+	if n := kernelWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return parallel.Default()
+}
+
+// forRowRanges splits [0, rows) into one contiguous chunk per worker and
+// runs fn on each; with a single worker (or a single chunk) it runs inline.
+// Chunks are disjoint, so each output row has exactly one writer.
+func forRowRanges(workers, rows int, fn func(lo, hi int)) {
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	parallel.For(workers, (rows+chunk-1)/chunk, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		fn(lo, hi)
+	})
+}
+
+// kernelParallelism returns the worker count for a kernel of the given
+// flop volume: 1 below the dispatch threshold, Workers() above it.
+func kernelParallelism(flops int) int {
+	if flops < minParallelFlops {
+		return 1
+	}
+	return Workers()
+}
 
 // Matrix is a dense row-major matrix.
 type Matrix struct {
@@ -69,41 +135,82 @@ func (m *Matrix) RandomizeXavier(src *randx.Source) {
 }
 
 // MatMul computes dst = a·b. dst must be preallocated with shape
-// (a.Rows, b.Cols); a.Cols must equal b.Rows.
+// (a.Rows, b.Cols); a.Cols must equal b.Rows. Output rows are computed in
+// cache-blocked panels and dispatched across the kernel worker pool above
+// the size threshold; every dst element accumulates in ascending-k order,
+// so the result is byte-identical to the serial triple loop.
 func MatMul(dst, a, b *Matrix) error {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		return fmt.Errorf("tensor: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols)
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+	workers := kernelParallelism(a.Rows * a.Cols * b.Cols)
+	forRowRanges(workers, a.Rows, func(lo, hi int) {
+		matMulRows(dst, a, b, lo, hi)
+	})
+	return nil
+}
+
+// matMulRows computes dst rows [lo, hi) of a·b. Rows are processed in
+// panels so each kernelBlock-row slab of b is reused across the whole row
+// panel while it is cache-hot; k panels advance in ascending order, which
+// keeps the per-element accumulation order of the naive loop.
+func matMulRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
 		for j := range drow {
 			drow[j] = 0
 		}
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				drow[j] += av * bv
+	}
+	for i0 := lo; i0 < hi; i0 += kernelBlock {
+		i1 := min(i0+kernelBlock, hi)
+		for k0 := 0; k0 < a.Cols; k0 += kernelBlock {
+			k1 := min(k0+kernelBlock, a.Cols)
+			for i := i0; i < i1; i++ {
+				arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+				drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+				for k := k0; k < k1; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
 			}
 		}
 	}
-	return nil
 }
 
-// MatMulATB computes dst = aᵀ·b (used for weight gradients).
+// MatMulATB computes dst = aᵀ·b (used for weight gradients). The dst rows
+// (columns of a) are partitioned across workers; every element accumulates
+// in ascending-i order, matching the serial loop bit for bit.
 func MatMulATB(dst, a, b *Matrix) error {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		return errors.New("tensor: matmul-ATB shape mismatch")
 	}
-	dst.Zero()
+	workers := kernelParallelism(a.Rows * a.Cols * b.Cols)
+	forRowRanges(workers, a.Cols, func(klo, khi int) {
+		matMulATBRows(dst, a, b, klo, khi)
+	})
+	return nil
+}
+
+// matMulATBRows computes dst rows [klo, khi) of aᵀ·b.
+func matMulATBRows(dst, a, b *Matrix, klo, khi int) {
+	for k := klo; k < khi; k++ {
+		drow := dst.Data[k*dst.Cols : (k+1)*dst.Cols]
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		brow := b.Data[i*b.Cols : (i+1)*b.Cols]
-		for k, av := range arow {
+		for k := klo; k < khi; k++ {
+			av := arow[k]
 			if av == 0 {
 				continue
 			}
@@ -113,27 +220,43 @@ func MatMulATB(dst, a, b *Matrix) error {
 			}
 		}
 	}
-	return nil
 }
 
-// MatMulABT computes dst = a·bᵀ (used for input gradients).
+// MatMulABT computes dst = a·bᵀ (used for input gradients). Output rows
+// are partitioned across workers; each element is one full dot product in
+// ascending-k order, identical to the serial loop.
 func MatMulABT(dst, a, b *Matrix) error {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		return errors.New("tensor: matmul-ABT shape mismatch")
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var sum float64
-			for k, av := range arow {
-				sum += av * brow[k]
+	workers := kernelParallelism(a.Rows * a.Cols * b.Rows)
+	forRowRanges(workers, a.Rows, func(lo, hi int) {
+		matMulABTRows(dst, a, b, lo, hi)
+	})
+	return nil
+}
+
+// matMulABTRows computes dst rows [lo, hi) of a·bᵀ, reusing kernelBlock-row
+// slabs of b across the row panel.
+func matMulABTRows(dst, a, b *Matrix, lo, hi int) {
+	for i0 := lo; i0 < hi; i0 += kernelBlock {
+		i1 := min(i0+kernelBlock, hi)
+		for j0 := 0; j0 < b.Rows; j0 += kernelBlock {
+			j1 := min(j0+kernelBlock, b.Rows)
+			for i := i0; i < i1; i++ {
+				arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+				drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+				for j := j0; j < j1; j++ {
+					brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+					var sum float64
+					for k, av := range arow {
+						sum += av * brow[k]
+					}
+					drow[j] = sum
+				}
 			}
-			drow[j] = sum
 		}
 	}
-	return nil
 }
 
 // AddRowVector adds row vector v (1×Cols) to every row of m in place.

@@ -359,18 +359,23 @@ func (c *Config) Payoff(i int, p Profile) float64 {
 }
 
 // Payoffs returns all C_i, computed with shared sub-expressions; prefer this
-// to calling Payoff in a loop on hot paths.
+// to calling Payoff in a loop on hot paths. Ω(π) and P(Ω) are computed once
+// and the per-organization exclusions Ω − d_i·scale_i are derived from the
+// cached sum, so the whole vector costs O(N²) only for the ρ terms instead
+// of recomputing the O(N) data sum for every organization.
 func (c *Config) Payoffs(p Profile) []float64 {
 	n := c.N()
 	out := make([]float64, n)
-	perf := c.Performance(p)
 	xs := make([]float64, n)
+	var omega float64
 	for i := range xs {
 		xs[i] = c.ContributionIndex(i, p[i])
+		omega += p[i].D * c.omegaScale(i)
 	}
+	perf := c.Accuracy.Value(omega)
 	oneMinusAlpha := 1 - c.Personal.Alpha
 	for i := 0; i < n; i++ {
-		gain := perf - c.Accuracy.Value(c.OmegaExcluding(p, i))
+		gain := perf - c.Accuracy.Value(omega-p[i].D*c.omegaScale(i))
 		var damage, redist float64
 		for j := 0; j < n; j++ {
 			damage += c.Rho[i][j] * c.Orgs[j].Profitability
@@ -378,7 +383,8 @@ func (c *Config) Payoffs(p Profile) []float64 {
 		}
 		revenue := c.Orgs[i].Profitability * perf
 		if c.Personal.enabled() {
-			revenue = c.Orgs[i].Profitability * c.PersonalPerformance(i, p)
+			local := c.Accuracy.Value(c.localOmega(i, p[i]))
+			revenue = c.Orgs[i].Profitability * (oneMinusAlpha*perf + c.Personal.Alpha*local)
 		}
 		out[i] = revenue -
 			c.EnergyWeight*c.Energy(i, p[i]) -

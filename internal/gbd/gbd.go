@@ -29,6 +29,7 @@ import (
 
 	"tradefl/internal/game"
 	"tradefl/internal/optimize"
+	"tradefl/internal/parallel"
 )
 
 // MasterSolver selects the algorithm used for the master problem (23).
@@ -51,6 +52,11 @@ type Options struct {
 	MaxIter int
 	// Master selects the master-problem solver (default MasterPruned).
 	Master MasterSolver
+	// Workers bounds the goroutines of the master-problem search (the grid
+	// is sharded over the first organization's CPU levels). 0 uses the
+	// process default (GOMAXPROCS); 1 runs the exact serial code path.
+	// Results are byte-identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -111,6 +117,8 @@ type feasibilityCut struct {
 type solver struct {
 	cfg  *game.Config
 	opts Options
+	// workers is the resolved master-search worker count (≥ 1).
+	workers int
 	// rhoBar[i] = ρ̄_i, zs[i] = z_i, scale[i] = Ω unit per d_i.
 	rhoBar, zs, scale []float64
 	optCuts           []optimalityCut
@@ -135,11 +143,12 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	n := cfg.N()
 	s := &solver{
-		cfg:    cfg,
-		opts:   opts,
-		rhoBar: make([]float64, n),
-		zs:     make([]float64, n),
-		scale:  make([]float64, n),
+		cfg:     cfg,
+		opts:    opts,
+		workers: parallel.Resolve(opts.Workers),
+		rhoBar:  make([]float64, n),
+		zs:      make([]float64, n),
+		scale:   make([]float64, n),
 	}
 	for i := 0; i < n; i++ {
 		s.rhoBar[i] = cfg.RhoRowSum(i)

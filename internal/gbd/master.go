@@ -1,6 +1,10 @@
 package gbd
 
-import "math"
+import (
+	"math"
+
+	"tradefl/internal/parallel"
+)
 
 // cutTables precomputes, for every cut, the per-organization per-CPU-level
 // term values, so grid enumeration touches no float math beyond additions.
@@ -18,13 +22,21 @@ type cutTables struct {
 	feasMin [][]float64
 }
 
+// buildTables tabulates every cut. Cuts are independent of each other, so
+// the per-cut work fans out across the solver's workers; each slot is
+// written by exactly one goroutine and the content does not depend on the
+// worker count.
 func (s *solver) buildTables() *cutTables {
 	n := s.cfg.N()
 	t := &cutTables{levels: make([][]float64, n)}
 	for i := 0; i < n; i++ {
 		t.levels[i] = s.cfg.Orgs[i].CPULevels
 	}
-	for _, c := range s.optCuts {
+	t.opt = make([][][]float64, len(s.optCuts))
+	t.optMax = make([][]float64, len(s.optCuts))
+	t.optConst = make([]float64, len(s.optCuts))
+	parallel.For(s.workers, len(s.optCuts), func(v int) {
+		c := s.optCuts[v]
 		terms := make([][]float64, n)
 		maxs := make([]float64, n)
 		for i := 0; i < n; i++ {
@@ -39,11 +51,14 @@ func (s *solver) buildTables() *cutTables {
 			terms[i] = row
 			maxs[i] = best
 		}
-		t.opt = append(t.opt, terms)
-		t.optMax = append(t.optMax, maxs)
-		t.optConst = append(t.optConst, s.optCutConst(c))
-	}
-	for _, c := range s.feasCuts {
+		t.opt[v] = terms
+		t.optMax[v] = maxs
+		t.optConst[v] = s.optCutConst(c)
+	})
+	t.feas = make([][][]float64, len(s.feasCuts))
+	t.feasMin = make([][]float64, len(s.feasCuts))
+	parallel.For(s.workers, len(s.feasCuts), func(w int) {
+		c := s.feasCuts[w]
 		terms := make([][]float64, n)
 		mins := make([]float64, n)
 		for i := 0; i < n; i++ {
@@ -58,16 +73,88 @@ func (s *solver) buildTables() *cutTables {
 			terms[i] = row
 			mins[i] = best
 		}
-		t.feas = append(t.feas, terms)
-		t.feasMin = append(t.feasMin, mins)
-	}
+		t.feas[w] = terms
+		t.feasMin[w] = mins
+	})
 	return t
 }
 
+// branchBest is the result of searching one shard of the f grid: the
+// shard's first (in enumeration order) maximizer and its φ value.
+type branchBest struct {
+	phi float64
+	idx []int
+	ok  bool
+}
+
+// reduceBranches folds shard results in shard order with the same
+// strictly-greater comparison the serial scans use, so the winner is the
+// globally first maximizer in serial enumeration order.
+func reduceBranches(results []branchBest) ([]int, float64, bool) {
+	bestPhi := math.Inf(-1)
+	var bestIdx []int
+	for _, r := range results {
+		if r.ok && r.phi > bestPhi {
+			bestPhi = r.phi
+			bestIdx = r.idx
+		}
+	}
+	if bestIdx == nil {
+		return nil, 0, false
+	}
+	return bestIdx, bestPhi, true
+}
+
 // masterTraversal enumerates the full f grid — the paper's traversal
-// method, Θ(m^N) grid points.
+// method, Θ(m^N) grid points. With more than one worker the grid is
+// sharded over the first organization's CPU levels; each shard enumerates
+// its sub-grid in serial order, and the shard results reduce in index
+// order, so the chosen grid point is byte-identical to the serial scan.
 func (s *solver) masterTraversal() ([]float64, float64, bool) {
 	t := s.buildTables()
+	n := s.cfg.N()
+	roots := len(t.levels[0])
+	if s.workers <= 1 || n < 2 || roots < 2 {
+		return s.masterTraversalSerial(t)
+	}
+	results := parallel.Map(s.workers, roots, func(root int) branchBest {
+		idx := make([]int, n)
+		idx[0] = root
+		best := branchBest{phi: math.Inf(-1)}
+		for {
+			if s.gridFeasible(t, idx) {
+				phi := s.gridPhi(t, idx)
+				if phi > best.phi {
+					best.phi = phi
+					best.idx = append(best.idx[:0], idx...)
+					best.ok = true
+				}
+			}
+			// Advance the mixed-radix counter over organizations 1..n-1.
+			i := n - 1
+			for i >= 1 {
+				idx[i]++
+				if idx[i] < len(t.levels[i]) {
+					break
+				}
+				idx[i] = 0
+				i--
+			}
+			if i < 1 {
+				break
+			}
+		}
+		return best
+	})
+	bestIdx, bestPhi, ok := reduceBranches(results)
+	if !ok {
+		return nil, 0, false
+	}
+	return s.gridF(t, bestIdx), bestPhi, true
+}
+
+// masterTraversalSerial is the single-core full-grid scan.
+func (s *solver) masterTraversalSerial(t *cutTables) ([]float64, float64, bool) {
 	n := s.cfg.N()
 	idx := make([]int, n)
 	bestPhi := math.Inf(-1)
@@ -141,95 +228,171 @@ func (s *solver) gridF(t *cutTables, idx []int) []float64 {
 	return f
 }
 
-// masterPruned runs exact depth-first search with two bounds: an optimistic
-// upper bound on min-over-cuts (partial sums completed with per-org maxima)
-// to prune against the incumbent, and an optimistic lower bound on each
-// feasibility cut (partial sums completed with per-org minima) to prune
-// provably-infeasible subtrees.
-func (s *solver) masterPruned() ([]float64, float64, bool) {
-	t := s.buildTables()
-	n := s.cfg.N()
+// boundSuffixes precomputes suffix sums of per-organization extrema so the
+// depth-first search completes partial sums to optimistic bounds in O(1).
+type boundSuffixes struct {
+	// opt[v][i] = Σ_{j≥i} optMax[v][j]; feas[w][i] = Σ_{j≥i} feasMin[w][j].
+	opt, feas [][]float64
+}
 
-	// Suffix sums of per-org extrema for O(1) bound completion.
-	optSuffix := make([][]float64, len(t.opt)) // optSuffix[v][i] = Σ_{j≥i} optMax[v][j]
+func newBoundSuffixes(t *cutTables, n int) *boundSuffixes {
+	b := &boundSuffixes{
+		opt:  make([][]float64, len(t.opt)),
+		feas: make([][]float64, len(t.feas)),
+	}
 	for v := range t.opt {
 		suf := make([]float64, n+1)
 		for i := n - 1; i >= 0; i-- {
 			suf[i] = suf[i+1] + t.optMax[v][i]
 		}
-		optSuffix[v] = suf
+		b.opt[v] = suf
 	}
-	feasSuffix := make([][]float64, len(t.feas))
 	for w := range t.feas {
 		suf := make([]float64, n+1)
 		for i := n - 1; i >= 0; i-- {
 			suf[i] = suf[i+1] + t.feasMin[w][i]
 		}
-		feasSuffix[w] = suf
+		b.feas[w] = suf
 	}
+	return b
+}
 
-	idx := make([]int, n)
-	bestPhi := math.Inf(-1)
-	var bestIdx []int
-	optPartial := make([]float64, len(t.opt))
-	for v := range optPartial {
-		optPartial[v] = t.optConst[v]
+// prunedSearch is the reusable depth-first search state of masterPruned.
+// Each worker owns one instance; only the shared incumbent bound crosses
+// goroutines.
+//
+// Partial sums are kept per depth (opt[d][v] is the sum after assigning
+// organizations < d) and each level is computed fresh as parent + term —
+// never by subtracting on backtrack — so the value at a node is a pure
+// function of the path to it. This keeps shard arithmetic byte-identical
+// to the serial search (an add/subtract scheme would leak floating-point
+// residue from sibling branches into later sums) and removes the drift
+// the subtraction itself introduced.
+type prunedSearch struct {
+	t   *cutTables
+	suf *boundSuffixes
+	n   int
+	// shared is the cross-shard incumbent φ bound; nil in the serial path.
+	shared *parallel.MaxFloat64
+
+	idx []int
+	// opt[d][v], feas[d][w]: cut partial sums after assigning orgs < d.
+	opt, feas [][]float64
+	bestPhi   float64
+	bestIdx   []int
+}
+
+func newPrunedSearch(t *cutTables, suf *boundSuffixes, n int, shared *parallel.MaxFloat64) *prunedSearch {
+	ps := &prunedSearch{
+		t:       t,
+		suf:     suf,
+		n:       n,
+		shared:  shared,
+		idx:     make([]int, n),
+		opt:     make([][]float64, n+1),
+		feas:    make([][]float64, n+1),
+		bestPhi: math.Inf(-1),
 	}
-	feasPartial := make([]float64, len(t.feas))
+	for d := 0; d <= n; d++ {
+		ps.opt[d] = make([]float64, len(t.opt))
+		ps.feas[d] = make([]float64, len(t.feas))
+	}
+	for v := range t.opt {
+		ps.opt[0][v] = t.optConst[v]
+	}
+	return ps
+}
 
-	var dfs func(depth int)
-	dfs = func(depth int) {
-		// Feasibility pruning: a cut that cannot return below zero even
-		// with the most favourable remaining choices kills the subtree.
-		for w := range feasPartial {
-			if feasPartial[w]+feasSuffix[w][depth] > 1e-12 {
-				return
-			}
-		}
-		// Optimality pruning: optimistic completion of min-over-cuts.
-		if len(t.opt) > 0 {
-			bound := math.Inf(1)
-			for v := range optPartial {
-				if b := optPartial[v] + optSuffix[v][depth]; b < bound {
-					bound = b
-				}
-			}
-			if bound <= bestPhi {
-				return
-			}
-		}
-		if depth == n {
-			phi := math.Inf(1)
-			for v := range optPartial {
-				if optPartial[v] < phi {
-					phi = optPartial[v]
-				}
-			}
-			if phi > bestPhi {
-				bestPhi = phi
-				bestIdx = append(bestIdx[:0], idx...)
-			}
+// assign sets organization depth to level k, deriving the next depth's
+// partial sums from the current ones.
+func (ps *prunedSearch) assign(depth, k int) {
+	ps.idx[depth] = k
+	for v, cur := range ps.opt[depth] {
+		ps.opt[depth+1][v] = cur + ps.t.opt[v][depth][k]
+	}
+	for w, cur := range ps.feas[depth] {
+		ps.feas[depth+1][w] = cur + ps.t.feas[w][depth][k]
+	}
+}
+
+// dfs explores the subtree rooted at depth. Pruning is two-fold:
+// feasibility cuts that cannot return below zero kill the subtree, and the
+// optimistic completion of min-over-cuts prunes against the incumbent —
+// the local one with ≤ (matching the serial first-maximizer tie-break
+// within a shard) and the shared cross-shard bound with strict <, so a
+// shard never discards a point that ties the global optimum and the
+// shard-order reduction reproduces the serial tie-break exactly.
+func (ps *prunedSearch) dfs(depth int) {
+	for w, cur := range ps.feas[depth] {
+		if cur+ps.suf.feas[w][depth] > 1e-12 {
 			return
 		}
-		for k := range t.levels[depth] {
-			idx[depth] = k
-			for v := range optPartial {
-				optPartial[v] += t.opt[v][depth][k]
-			}
-			for w := range feasPartial {
-				feasPartial[w] += t.feas[w][depth][k]
-			}
-			dfs(depth + 1)
-			for v := range optPartial {
-				optPartial[v] -= t.opt[v][depth][k]
-			}
-			for w := range feasPartial {
-				feasPartial[w] -= t.feas[w][depth][k]
+	}
+	if len(ps.t.opt) > 0 {
+		bound := math.Inf(1)
+		for v, cur := range ps.opt[depth] {
+			if b := cur + ps.suf.opt[v][depth]; b < bound {
+				bound = b
 			}
 		}
+		if bound <= ps.bestPhi {
+			return
+		}
+		if ps.shared != nil && bound < ps.shared.Load() {
+			return
+		}
 	}
-	dfs(0)
-	if bestIdx == nil {
+	if depth == ps.n {
+		phi := math.Inf(1)
+		for _, cur := range ps.opt[depth] {
+			if cur < phi {
+				phi = cur
+			}
+		}
+		if phi > ps.bestPhi {
+			ps.bestPhi = phi
+			ps.bestIdx = append(ps.bestIdx[:0], ps.idx...)
+			if ps.shared != nil {
+				ps.shared.Update(phi)
+			}
+		}
+		return
+	}
+	for k := range ps.t.levels[depth] {
+		ps.assign(depth, k)
+		ps.dfs(depth + 1)
+	}
+}
+
+// masterPruned runs exact depth-first search with bound pruning. With more
+// than one worker the tree is sharded at the root over the first
+// organization's CPU levels: every shard searches its subtree with a
+// private incumbent plus a shared atomic bound (published maxima from all
+// shards) so pruning stays effective across workers, and shard results
+// reduce in root order — the returned grid point is byte-identical to the
+// serial search for every worker count.
+func (s *solver) masterPruned() ([]float64, float64, bool) {
+	t := s.buildTables()
+	n := s.cfg.N()
+	suf := newBoundSuffixes(t, n)
+	roots := len(t.levels[0])
+	if s.workers <= 1 || n < 2 || roots < 2 {
+		ps := newPrunedSearch(t, suf, n, nil)
+		ps.dfs(0)
+		if ps.bestIdx == nil {
+			return nil, 0, false
+		}
+		return s.gridF(t, ps.bestIdx), ps.bestPhi, true
+	}
+	var shared parallel.MaxFloat64
+	results := parallel.Map(s.workers, roots, func(root int) branchBest {
+		ps := newPrunedSearch(t, suf, n, &shared)
+		ps.assign(0, root)
+		ps.dfs(1)
+		return branchBest{phi: ps.bestPhi, idx: ps.bestIdx, ok: ps.bestIdx != nil}
+	})
+	bestIdx, bestPhi, ok := reduceBranches(results)
+	if !ok {
 		return nil, 0, false
 	}
 	return s.gridF(t, bestIdx), bestPhi, true

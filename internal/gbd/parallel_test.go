@@ -1,0 +1,72 @@
+package gbd
+
+import (
+	"testing"
+
+	"tradefl/internal/game"
+)
+
+// TestSolveParallelEquivalence checks the determinism contract of the
+// parallel master search: for every worker count the solver must produce
+// byte-identical profiles, potentials and convergence traces, because
+// shards enumerate in serial order and reduce with the serial tie-break.
+func TestSolveParallelEquivalence(t *testing.T) {
+	for _, master := range []struct {
+		name string
+		m    MasterSolver
+	}{
+		{"traversal", MasterTraversal},
+		{"pruned", MasterPruned},
+	} {
+		t.Run(master.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				cfg, err := game.DefaultConfig(game.GenOptions{Seed: seed, NoOrgName: true})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				serial, serr := Solve(cfg, Options{Master: master.m, Workers: 1})
+				for _, workers := range []int{2, 3, 8} {
+					par, perr := Solve(cfg, Options{Master: master.m, Workers: workers})
+					if (serr == nil) != (perr == nil) {
+						t.Fatalf("seed %d workers %d: error mismatch serial=%v parallel=%v", seed, workers, serr, perr)
+					}
+					if serr != nil {
+						continue
+					}
+					if par.Potential != serial.Potential {
+						t.Fatalf("seed %d workers %d: potential %v != serial %v", seed, workers, par.Potential, serial.Potential)
+					}
+					if len(par.Profile) != len(serial.Profile) {
+						t.Fatalf("seed %d workers %d: profile length mismatch", seed, workers)
+					}
+					for i := range par.Profile {
+						if par.Profile[i] != serial.Profile[i] {
+							t.Fatalf("seed %d workers %d: profile[%d] = %+v != serial %+v",
+								seed, workers, i, par.Profile[i], serial.Profile[i])
+						}
+					}
+					if par.Iterations != serial.Iterations || par.Converged != serial.Converged {
+						t.Fatalf("seed %d workers %d: trace shape mismatch (%d,%v) != (%d,%v)",
+							seed, workers, par.Iterations, par.Converged, serial.Iterations, serial.Converged)
+					}
+					for name, pair := range map[string][2][]float64{
+						"lower":     {par.LowerBounds, serial.LowerBounds},
+						"upper":     {par.UpperBounds, serial.UpperBounds},
+						"potential": {par.PotentialTrace, serial.PotentialTrace},
+					} {
+						if len(pair[0]) != len(pair[1]) {
+							t.Fatalf("seed %d workers %d: %s trace length %d != %d",
+								seed, workers, name, len(pair[0]), len(pair[1]))
+						}
+						for k := range pair[0] {
+							if pair[0][k] != pair[1][k] {
+								t.Fatalf("seed %d workers %d: %s trace[%d] = %v != %v",
+									seed, workers, name, k, pair[0][k], pair[1][k])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,208 @@
+// Package parallel provides the bounded-concurrency primitives TradeFL's
+// solver hot paths are built on: a worker pool sized from GOMAXPROCS,
+// ordered fan-out/fan-in helpers, context-aware variants, and an atomic
+// float64 maximum used as the shared incumbent bound of branch-and-bound
+// searches.
+//
+// Determinism contract: every helper assigns work by index and returns (or
+// writes) results in index order, so callers that reduce over the results
+// in index order observe exactly the serial iteration order regardless of
+// worker count or scheduling. Workers pull indices from a shared atomic
+// counter (dynamic load balancing), which is safe because result slots are
+// disjoint per index.
+package parallel
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers overrides the process-wide default worker count when
+// positive; 0 means "use GOMAXPROCS". Set from CLI flags (-workers).
+var defaultWorkers atomic.Int64
+
+// SetDefault sets the process-wide default worker count used when a
+// Workers option is left at zero. n ≤ 0 restores the GOMAXPROCS default.
+func SetDefault(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Default returns the process-wide default worker count: the value set by
+// SetDefault, or runtime.GOMAXPROCS(0).
+func Default() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Resolve maps a Workers option value to an effective worker count:
+// 0 → Default(), negative → 1.
+func Resolve(workers int) int {
+	switch {
+	case workers == 0:
+		return Default()
+	case workers < 0:
+		return 1
+	default:
+		return workers
+	}
+}
+
+// For runs fn(i) for every i in [0, n), using at most workers goroutines.
+// workers ≤ 1 or n ≤ 1 runs inline on the calling goroutine in index
+// order. It returns when every call has completed.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForCtx is For with cooperative cancellation: workers stop picking up new
+// indices once ctx is cancelled or any fn returns an error. It returns the
+// error of the lowest index that failed (deterministic), or ctx.Err() when
+// cancelled with no fn error. Indices already started always run to
+// completion.
+func ForCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		mu      sync.Mutex
+		firstI  = n
+		firstE  error
+	)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() && ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstI {
+						firstI, firstE = i, err
+					}
+					mu.Unlock()
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstE != nil {
+		return firstE
+	}
+	return ctx.Err()
+}
+
+// Map runs fn(i) for every i in [0, n) under at most workers goroutines
+// and returns the results in index order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MaxFloat64 is an atomic running maximum over float64 values, used as the
+// shared incumbent bound of parallel branch-and-bound searches. The zero
+// value is ready to use and loads as -Inf.
+//
+// Values are stored under a monotone encoding (sign-flipped IEEE bits) so
+// float ordering matches uint64 ordering and the zero bit pattern sorts
+// below every encoded float — the zero value needs no initialization.
+type MaxFloat64 struct {
+	enc atomic.Uint64
+}
+
+// encodeFloat maps a float64 to a uint64 whose unsigned ordering matches
+// the float ordering, with every encoding strictly positive.
+func encodeFloat(v float64) uint64 {
+	b := math.Float64bits(v)
+	if b&(1<<63) != 0 {
+		return ^b // negative: reverse order
+	}
+	return b | 1<<63
+}
+
+// Load returns the current maximum (-Inf before any Update).
+func (m *MaxFloat64) Load() float64 {
+	e := m.enc.Load()
+	if e == 0 {
+		return math.Inf(-1)
+	}
+	if e&(1<<63) != 0 {
+		return math.Float64frombits(e &^ (1 << 63))
+	}
+	return math.Float64frombits(^e)
+}
+
+// Update raises the maximum to v if v is larger. It reports whether v
+// became the new maximum. NaN is ignored.
+func (m *MaxFloat64) Update(v float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	e := encodeFloat(v)
+	for {
+		old := m.enc.Load()
+		if e <= old {
+			return false
+		}
+		if m.enc.CompareAndSwap(old, e) {
+			return true
+		}
+	}
+}

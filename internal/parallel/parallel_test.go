@@ -1,0 +1,120 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != 1 {
+		t.Fatalf("Resolve(-3) = %d, want 1", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Fatalf("Resolve(7) = %d, want 7", got)
+	}
+	SetDefault(5)
+	if got := Resolve(0); got != 5 {
+		t.Fatalf("Resolve(0) after SetDefault(5) = %d, want 5", got)
+	}
+	SetDefault(0)
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) after reset = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 1000
+		var hits [n]atomic.Int64
+		For(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(4, 0, func(int) { called = true })
+	For(4, -1, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for n <= 0")
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	got := Map(8, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForCtxFirstError(t *testing.T) {
+	wantErr := errors.New("boom")
+	err := ForCtx(context.Background(), 4, 100, func(i int) error {
+		if i%10 == 3 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("ForCtx error = %v, want %v", err, wantErr)
+	}
+}
+
+func TestForCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForCtx(ctx, 4, 1000, func(i int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForCtx error = %v, want context.Canceled", err)
+	}
+	if ran.Load() == 1000 {
+		t.Fatal("cancellation did not stop the fan-out early")
+	}
+}
+
+func TestMaxFloat64(t *testing.T) {
+	var m MaxFloat64
+	if got := m.Load(); !math.IsInf(got, -1) {
+		t.Fatalf("zero value loads %v, want -Inf", got)
+	}
+	for _, v := range []float64{-100, -1e308, 3.5, 2, math.Inf(-1), -0.0, 0.0, 7.25} {
+		m.Update(v)
+	}
+	if got := m.Load(); got != 7.25 {
+		t.Fatalf("max = %v, want 7.25", got)
+	}
+	if m.Update(7.25) {
+		t.Fatal("Update(equal) reported a new maximum")
+	}
+	if !m.Update(8) {
+		t.Fatal("Update(8) did not report a new maximum")
+	}
+	if m.Update(math.NaN()) {
+		t.Fatal("Update(NaN) reported a new maximum")
+	}
+	if got := m.Load(); got != 8 {
+		t.Fatalf("max = %v, want 8", got)
+	}
+}
+
+func TestMaxFloat64Concurrent(t *testing.T) {
+	var m MaxFloat64
+	For(8, 10000, func(i int) { m.Update(float64(i)) })
+	if got := m.Load(); got != 9999 {
+		t.Fatalf("concurrent max = %v, want 9999", got)
+	}
+}

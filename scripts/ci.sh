@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full local CI gate: static checks, the race-enabled test suite, and a
+# benchmark-regression smoke run.
+#
+# The bench smoke runs right after the race suite with a short -benchtime,
+# so on shared hardware timings can read 50-80% high from transient CPU
+# contention alone. Its default threshold is therefore relaxed to catch
+# only order-of-magnitude regressions while still proving the harness
+# end to end; pin BENCH_MAX_REGRESSION_PCT for strict gating, or run
+# scripts/bench.sh + scripts/bench-compare.sh (default 5%) on a quiet
+# machine for the full-fidelity check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> bench regression smoke"
+sleep "${BENCH_SETTLE_SECS:-15}" # let CPU contention from the race suite drain
+BENCH_TIME="${BENCH_TIME:-100ms}" BENCH_COUNT="${BENCH_COUNT:-4}" scripts/bench.sh >/dev/null
+BENCH_MAX_REGRESSION_PCT="${BENCH_MAX_REGRESSION_PCT:-100}" scripts/bench-compare.sh
+
+echo "==> CI OK"
