@@ -21,6 +21,7 @@ import (
 
 	"tradefl/internal/chain"
 	"tradefl/internal/game"
+	"tradefl/internal/obs"
 	"tradefl/internal/randx"
 )
 
@@ -48,9 +49,18 @@ func run(args []string) error {
 		keys   = fs.String("keys", "", "write member key/address info to this file")
 		fund   = fs.Int64("fund", 1_000_000_000, "genesis balance per member (wei)")
 		store  = fs.String("store", "", "persist the chain to this file (reloaded if present)")
+
+		obsFlags = obs.RegisterFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	diag, err := obsFlags.Apply()
+	if err != nil {
+		return err
+	}
+	if diag != nil {
+		defer diag.Close()
 	}
 
 	cfg, err := game.DefaultConfig(game.GenOptions{Seed: *seed})

@@ -25,6 +25,7 @@ import (
 
 	"tradefl/internal/dbr"
 	"tradefl/internal/game"
+	"tradefl/internal/obs"
 	"tradefl/internal/parallel"
 	"tradefl/internal/transport"
 )
@@ -47,9 +48,17 @@ func run(args []string) error {
 		timeout  = fs.Duration("timeout", 2*time.Minute, "protocol deadline")
 		recovery = fs.Duration("recovery", 10*time.Second, "token-timeout crash recovery (0 disables)")
 		workers  = fs.Int("workers", 0, "best-response worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		obsFlags = obs.RegisterFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	diag, err := obsFlags.Apply()
+	if err != nil {
+		return err
+	}
+	if diag != nil {
+		defer diag.Close()
 	}
 	parallel.SetDefault(*workers)
 	cfg, err := game.DefaultConfig(game.GenOptions{Seed: *seed})

@@ -26,6 +26,7 @@ import (
 	"tradefl/internal/chain"
 	"tradefl/internal/dbr"
 	"tradefl/internal/game"
+	"tradefl/internal/obs"
 	"tradefl/internal/parallel"
 	"tradefl/internal/randx"
 )
@@ -49,9 +50,18 @@ func run(args []string) error {
 		poll    = fs.Duration("poll", 500*time.Millisecond, "status poll interval")
 		timeout = fs.Duration("timeout", 2*time.Minute, "settlement deadline")
 		workers = fs.Int("workers", 0, "best-response worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+
+		obsFlags = obs.RegisterFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	diag, err := obsFlags.Apply()
+	if err != nil {
+		return err
+	}
+	if diag != nil {
+		defer diag.Close()
 	}
 	parallel.SetDefault(*workers)
 	cfg, err := game.DefaultConfig(game.GenOptions{Seed: *seed})

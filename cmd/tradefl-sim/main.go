@@ -6,15 +6,20 @@
 //	tradefl-sim -list
 //	tradefl-sim -fig fig7 [-seed 7] [-quick]
 //	tradefl-sim -all -out results/
+//	tradefl-sim -fig table2 -diag-addr 127.0.0.1:6060 -diag-hold 30s
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"tradefl/internal/experiments"
+	"tradefl/internal/obs"
 	"tradefl/internal/parallel"
 )
 
@@ -28,17 +33,32 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tradefl-sim", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "", "experiment id to run (see -list)")
-		all     = fs.Bool("all", false, "run every experiment")
-		list    = fs.Bool("list", false, "list experiment ids")
-		seed    = fs.Int64("seed", 7, "random seed of the reference instance")
-		quick   = fs.Bool("quick", false, "coarse sweeps and short FL runs")
-		out     = fs.String("out", "", "directory for CSV files (default stdout)")
-		plot    = fs.Bool("plot", false, "render terminal charts instead of CSV")
-		workers = fs.Int("workers", 0, "solver/kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		fig      = fs.String("fig", "", "experiment id to run (see -list)")
+		all      = fs.Bool("all", false, "run every experiment")
+		list     = fs.Bool("list", false, "list experiment ids")
+		seed     = fs.Int64("seed", 7, "random seed of the reference instance")
+		quick    = fs.Bool("quick", false, "coarse sweeps and short FL runs")
+		out      = fs.String("out", "", "directory for CSV files (default stdout)")
+		plot     = fs.Bool("plot", false, "render terminal charts instead of CSV")
+		workers  = fs.Int("workers", 0, "solver/kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		summary  = fs.String("summary", "text", "end-of-run solver summary: text|json|none")
+		diagHold = fs.Duration("diag-hold", 0, "keep the diagnostics server alive this long after the run (requires -diag-addr)")
+		obsFlags = obs.RegisterFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *summary {
+	case "text", "json", "none":
+	default:
+		return fmt.Errorf("-summary must be text, json or none, got %q", *summary)
+	}
+	diag, err := obsFlags.Apply()
+	if err != nil {
+		return err
+	}
+	if diag != nil {
+		defer diag.Close()
 	}
 	parallel.SetDefault(*workers)
 	if *list {
@@ -56,6 +76,7 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("need -fig <id>, -all or -list")
 	}
+	start := time.Now()
 	opts := experiments.Options{Seed: *seed, Quick: *quick}
 	for _, id := range ids {
 		figure, err := experiments.Run(id, opts)
@@ -80,5 +101,73 @@ func run(args []string) error {
 		}
 		fmt.Println("wrote", path)
 	}
+	if err := printSummary(*summary, time.Since(start)); err != nil {
+		return err
+	}
+	if diag != nil && *diagHold > 0 {
+		obs.Component("sim").Info("holding diagnostics server", "addr", diag.Addr(), "hold", *diagHold)
+		time.Sleep(*diagHold)
+	}
+	return nil
+}
+
+// printSummary condenses the metrics snapshot into the solver headline
+// numbers of the run. Text goes to stderr (stdout carries the CSV), JSON to
+// stdout for scripted consumers.
+func printSummary(mode string, wall time.Duration) error {
+	if mode == "none" {
+		return nil
+	}
+	snap := obs.Default.Snapshot()
+	val := func(name string) float64 {
+		s, ok := obs.Find(snap, name)
+		if !ok {
+			return 0
+		}
+		return s.Value
+	}
+	sum := struct {
+		WallSeconds   float64 `json:"wallSeconds"`
+		GBDRuns       float64 `json:"gbdRuns"`
+		GBDIterations float64 `json:"gbdIterations"`
+		GBDOptCuts    float64 `json:"gbdOptimalityCuts"`
+		GBDFeasCuts   float64 `json:"gbdFeasibilityCuts"`
+		GBDGap        float64 `json:"gbdBoundGap"`
+		GBDWelfare    float64 `json:"gbdSocialWelfare"`
+		DBRRuns       float64 `json:"dbrRuns"`
+		DBRRounds     float64 `json:"dbrRounds"`
+		DBRMoves      float64 `json:"dbrMoves"`
+		DBRWelfare    float64 `json:"dbrSocialWelfare"`
+		FLRounds      float64 `json:"flRounds"`
+		FLAccuracy    float64 `json:"flRoundAccuracy"`
+		PoolFanouts   float64 `json:"poolFanouts"`
+	}{
+		WallSeconds:   wall.Seconds(),
+		GBDRuns:       val("tradefl_gbd_runs_total"),
+		GBDIterations: val("tradefl_gbd_iterations_total"),
+		GBDOptCuts:    val("tradefl_gbd_optimality_cuts_total"),
+		GBDFeasCuts:   val("tradefl_gbd_feasibility_cuts_total"),
+		GBDGap:        val("tradefl_gbd_bound_gap"),
+		GBDWelfare:    val("tradefl_gbd_social_welfare"),
+		DBRRuns:       val("tradefl_dbr_runs_total"),
+		DBRRounds:     val("tradefl_dbr_rounds_total"),
+		DBRMoves:      val("tradefl_dbr_moves_total"),
+		DBRWelfare:    val("tradefl_dbr_social_welfare"),
+		FLRounds:      val("tradefl_fl_rounds_total"),
+		FLAccuracy:    val("tradefl_fl_round_accuracy"),
+		PoolFanouts:   val("tradefl_pool_fanouts_total"),
+	}
+	if mode == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		return enc.Encode(sum)
+	}
+	w := io.Writer(os.Stderr)
+	fmt.Fprintf(w, "--- run summary (%.2fs wall) ---\n", sum.WallSeconds)
+	fmt.Fprintf(w, "gbd:  %.0f runs, %.0f iterations, %.0f+%.0f cuts (opt+feas), gap %.3g, welfare %.2f\n",
+		sum.GBDRuns, sum.GBDIterations, sum.GBDOptCuts, sum.GBDFeasCuts, sum.GBDGap, sum.GBDWelfare)
+	fmt.Fprintf(w, "dbr:  %.0f runs, %.0f sweeps, %.0f moves, welfare %.2f\n",
+		sum.DBRRuns, sum.DBRRounds, sum.DBRMoves, sum.DBRWelfare)
+	fmt.Fprintf(w, "fl:   %.0f rounds, last accuracy %.4f\n", sum.FLRounds, sum.FLAccuracy)
+	fmt.Fprintf(w, "pool: %.0f fan-outs\n", sum.PoolFanouts)
 	return nil
 }

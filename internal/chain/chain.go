@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Chain errors callers can match with errors.Is.
@@ -167,6 +168,7 @@ func (bc *Blockchain) SubmitTx(tx Transaction) error {
 		return fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, expected)
 	}
 	bc.pool = append(bc.pool, tx)
+	mTxSubmitted.Inc()
 	return nil
 }
 
@@ -183,10 +185,18 @@ func (bc *Blockchain) PendingCount() int {
 func (bc *Blockchain) SealBlock() (*Block, error) {
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
+	sealStart := time.Now()
+	defer mSealSec.ObserveSince(sealStart)
 	height := uint64(len(bc.blocks))
 	receipts := make([]Receipt, 0, len(bc.pool))
 	for _, tx := range bc.pool {
-		receipts = append(receipts, bc.applyTx(tx, height))
+		rcpt := bc.applyTx(tx, height)
+		if rcpt.OK {
+			mTxMined.Inc()
+		} else {
+			mTxFailed.Inc()
+		}
+		receipts = append(receipts, rcpt)
 	}
 	root, err := bc.st.root()
 	if err != nil {
@@ -214,6 +224,8 @@ func (bc *Blockchain) SealBlock() (*Block, error) {
 	}
 	bc.blocks = append(bc.blocks, b)
 	bc.pool = nil
+	mBlocks.Inc()
+	mHeight.Set(float64(height))
 	return b, nil
 }
 

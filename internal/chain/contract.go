@@ -245,6 +245,7 @@ func (c *Contract) payoffCalculate(from Address, value Wei) error {
 	for _, m := range c.Params.Members {
 		sum += c.MemberData[m].Payoff
 	}
+	mResidual.Set(float64(sum))
 	if sum != 0 {
 		first := c.Params.Members[0]
 		ms := c.MemberData[first]
@@ -277,6 +278,8 @@ func (c *Contract) payoffTransfer(from Address, value Wei) (Wei, error) {
 	ms.Payoff = 0
 	c.MemberData[from] = ms
 	c.markSettledIfDone()
+	mTransfers.Inc()
+	mTransferWei.Add(int64(refund))
 	return refund, nil
 }
 

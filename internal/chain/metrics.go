@@ -1,0 +1,20 @@
+package chain
+
+import "tradefl/internal/obs"
+
+// Telemetry of the settlement chain: transaction flow, sealing, and the
+// contract-level credibility signals of Sec. III-F (payoff transfers and
+// the budget-balance residual charged to the first member).
+var (
+	mTxSubmitted = obs.NewCounter("tradefl_chain_tx_submitted_total", "transactions accepted into the mempool")
+	mTxMined     = obs.NewCounter("tradefl_chain_tx_mined_total", "transactions sealed with an OK receipt")
+	mTxFailed    = obs.NewCounter("tradefl_chain_tx_failed_total", "transactions sealed with an error receipt")
+	mBlocks      = obs.NewCounter("tradefl_chain_blocks_sealed_total", "blocks sealed")
+	mHeight      = obs.NewGauge("tradefl_chain_height", "latest block height")
+	mTransfers   = obs.NewCounter("tradefl_chain_payoff_transfers_total", "payoffTransfer settlements executed")
+	mTransferWei = obs.NewCounter("tradefl_chain_payoff_transfer_wei_total", "wei returned to members by payoffTransfer (deposit + redistribution)")
+	mResidual    = obs.NewGauge("tradefl_chain_budget_residual_wei", "rounding residual of the last payoffCalculate before it was charged to member 0 (budget balance, Definition 5)")
+	mSealSec     = obs.NewHistogram("tradefl_chain_seal_seconds", "wall time of SealBlock incl. state-root computation", obs.TimeBuckets)
+	mRPCRequests = obs.NewCounter("tradefl_chain_rpc_requests_total", "JSON-RPC requests served")
+	mRPCErrors   = obs.NewCounter("tradefl_chain_rpc_errors_total", "JSON-RPC requests answered with an error object")
+)

@@ -10,7 +10,14 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"tradefl/internal/obs"
 )
+
+// rpcLog carries the RPC server's diagnostics; dispatch failures are
+// reported to clients as JSON-RPC error objects, so without this log they
+// would leave no server-side trace.
+var rpcLog = obs.Component("chain.rpc")
 
 // RPC method names exposed by the node, mirroring the Web3-style interface
 // the paper's prototype uses for "data interaction among organizations and
@@ -115,28 +122,40 @@ func writeRPC(w http.ResponseWriter, id int64, result any, rerr *rpcError) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		// The connection is gone; nothing useful left to do.
+		// The connection is gone; log it so dropped responses are visible
+		// server-side, then move on.
+		rpcLog.Debug("response write failed", "id", id, "err", err)
 		return
 	}
 }
 
 func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	mRPCRequests.Inc()
 	if r.Method != http.MethodPost {
+		mRPCErrors.Inc()
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
+		mRPCErrors.Inc()
+		rpcLog.Warn("request body read failed", "err", err)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	var req rpcRequest
 	if err := json.Unmarshal(body, &req); err != nil {
+		mRPCErrors.Inc()
+		rpcLog.Warn("request parse failed", "err", err)
 		writeRPC(w, 0, nil, &rpcError{Code: -32700, Message: "parse error"})
 		return
 	}
 	result, err := s.dispatch(req.Method, req.Params)
 	if err != nil {
+		// The client only sees the JSON-RPC error object; record the
+		// failure server-side before it is swallowed into the response.
+		mRPCErrors.Inc()
+		rpcLog.Warn("dispatch failed", "method", req.Method, "id", req.ID, "err", err)
 		writeRPC(w, req.ID, nil, &rpcError{Code: -32000, Message: err.Error()})
 		return
 	}

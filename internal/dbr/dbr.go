@@ -15,11 +15,13 @@
 package dbr
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"tradefl/internal/game"
+	"tradefl/internal/obs"
 	"tradefl/internal/optimize"
 	"tradefl/internal/parallel"
 )
@@ -101,6 +103,8 @@ func BestResponseWorkers(cfg *game.Config, p game.Profile, i int, dTol float64, 
 		dTol = 1e-7
 	}
 	levels := cfg.Orgs[i].CPULevels
+	mScans.Inc()
+	mCandidates.Add(int64(len(levels)))
 	workers = parallel.Resolve(workers)
 	if workers > 1 && len(levels) > 1 {
 		return reduceCandidates(parallel.Map(workers, len(levels), func(k int) candidate {
@@ -163,9 +167,18 @@ func Solve(cfg *game.Config, start game.Profile, opts Options) (*Result, error) 
 		return nil, fmt.Errorf("dbr: start profile: %w", err)
 	}
 
+	mRuns.Inc()
+	solveStart := time.Now()
+	_, root := obs.Span(context.Background(), "dbr.solve")
+	defer mSolveSec.ObserveSince(solveStart)
+	defer root.End()
+
 	res := &Result{}
 	for t := 0; t < opts.MaxRounds; t++ {
 		res.Rounds = t + 1
+		mRounds.Inc()
+		sweepStart := time.Now()
+		sweepSpan := root.StartChild("dbr.sweep")
 		changed := false
 		for i := range cfg.Orgs {
 			cur := cfg.Payoff(i, p)
@@ -176,15 +189,24 @@ func Solve(cfg *game.Config, start game.Profile, opts Options) (*Result, error) 
 			if val > cur+opts.Tol {
 				p[i] = next
 				changed = true
+				mMoves.Inc()
 			}
 		}
 		res.PotentialTrace = append(res.PotentialTrace, cfg.Potential(p))
 		res.PayoffTrace = append(res.PayoffTrace, cfg.Payoffs(p))
+		sweepSpan.End()
+		mSweepSec.ObserveSince(sweepStart)
 		if !changed {
 			res.Converged = true
 			break
 		}
 	}
 	res.Profile = p
+	if res.Converged {
+		mConverged.Inc()
+	}
+	mPotential.Set(cfg.Potential(p))
+	mWelfare.Set(cfg.SocialWelfare(p))
+	obs.RecordTrajectory("dbr.potential", res.PotentialTrace)
 	return res, nil
 }

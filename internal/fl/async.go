@@ -109,6 +109,7 @@ func RunAsync(cfg AsyncConfig) (*Result, error) {
 		return nil, errors.New("fl async: horizon shorter than every round time")
 	}
 
+	mRuns.Inc()
 	res := &Result{TotalSamples: totalSamples}
 	evalEvery := cfg.Horizon / float64(cfg.Evaluations)
 	nextEval := evalEvery
@@ -123,6 +124,9 @@ func RunAsync(cfg AsyncConfig) (*Result, error) {
 			return err
 		}
 		res.History = append(res.History, RoundMetrics{Round: round, Loss: loss, Accuracy: acc})
+		mRounds.Inc()
+		mAccuracy.Set(acc)
+		mLoss.Set(loss)
 		return nil
 	}
 	for _, ev := range events {
@@ -151,6 +155,7 @@ func RunAsync(cfg AsyncConfig) (*Result, error) {
 			}
 		}
 		version++
+		mUpdates.Inc()
 		// The organization pulls the fresh model for its next cadence.
 		st.snapshot = global.Clone()
 		st.pulledVersion = version
@@ -163,6 +168,7 @@ func RunAsync(cfg AsyncConfig) (*Result, error) {
 	last := res.History[len(res.History)-1]
 	res.FinalLoss = last.Loss
 	res.FinalAccuracy = last.Accuracy
+	publishHistory(res.History)
 	return res, nil
 }
 

@@ -7,12 +7,15 @@
 package fl
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"tradefl/internal/fl/dataset"
 	"tradefl/internal/fl/model"
 	"tradefl/internal/fl/tensor"
+	"tradefl/internal/obs"
 )
 
 // Config describes one federated training run.
@@ -128,8 +131,14 @@ func Run(cfg Config) (*Result, error) {
 		return nil, errors.New("fl: no organization contributes any data")
 	}
 
+	mRuns.Inc()
+	ctx, root := obs.Span(context.Background(), "fl.run")
+	defer root.End()
+
 	res := &Result{TotalSamples: totalSamples}
 	for round := 1; round <= cfg.Rounds; round++ {
+		roundStart := time.Now()
+		_, roundSpan := obs.Span(ctx, "fl.round")
 		// Local training on a copy of the global model per organization.
 		agg := zerosLike(global.Params())
 		for i, sub := range subsets {
@@ -138,30 +147,42 @@ func Run(cfg Config) (*Result, error) {
 			}
 			local := global.Clone()
 			if _, err := local.TrainEpochs(sub, cfg.LocalEpochs, cfg.Arch.LearningRate, cfg.Arch.BatchSize); err != nil {
+				roundSpan.End()
 				return nil, fmt.Errorf("round %d org %d: %w", round, i, err)
 			}
 			for p, mat := range local.Params() {
 				if err := agg[p].AXPY(weights[i]/weightSum, mat); err != nil {
+					roundSpan.End()
 					return nil, err
 				}
 			}
+			mUpdates.Inc()
 		}
 		if err := global.SetParams(agg); err != nil {
+			roundSpan.End()
 			return nil, err
 		}
 		loss, err := global.Loss(cfg.Test)
 		if err != nil {
+			roundSpan.End()
 			return nil, err
 		}
 		acc, err := global.Accuracy(cfg.Test)
 		if err != nil {
+			roundSpan.End()
 			return nil, err
 		}
 		res.History = append(res.History, RoundMetrics{Round: round, Loss: loss, Accuracy: acc})
+		mRounds.Inc()
+		mAccuracy.Set(acc)
+		mLoss.Set(loss)
+		roundSpan.End()
+		mRoundSec.ObserveSince(roundStart)
 	}
 	last := res.History[len(res.History)-1]
 	res.FinalLoss = last.Loss
 	res.FinalAccuracy = last.Accuracy
+	publishHistory(res.History)
 	return res, nil
 }
 

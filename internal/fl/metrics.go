@@ -1,0 +1,31 @@
+package fl
+
+import "tradefl/internal/obs"
+
+// Telemetry of the federated-learning loop: per-round quality and wall
+// time, shared by the synchronous (Run) and asynchronous (RunAsync)
+// aggregators.
+var (
+	mRuns     = obs.NewCounter("tradefl_fl_runs_total", "federated training runs started")
+	mRounds   = obs.NewCounter("tradefl_fl_rounds_total", "federated rounds (or async evaluations) completed")
+	mUpdates  = obs.NewCounter("tradefl_fl_local_updates_total", "local organization updates aggregated into the global model")
+	mAccuracy = obs.NewGauge("tradefl_fl_round_accuracy", "global-model test accuracy after the most recent round")
+	mLoss     = obs.NewGauge("tradefl_fl_round_loss", "global-model test loss after the most recent round")
+	mRoundSec = obs.NewHistogram("tradefl_fl_round_seconds", "wall time of one federated round incl. evaluation", obs.TimeBuckets)
+)
+
+// publishHistory mirrors a run's per-round history into the round gauges
+// and the /runz trajectories.
+func publishHistory(history []RoundMetrics) {
+	if len(history) == 0 {
+		return
+	}
+	accs := make([]float64, len(history))
+	losses := make([]float64, len(history))
+	for i, h := range history {
+		accs[i] = h.Accuracy
+		losses[i] = h.Loss
+	}
+	obs.RecordTrajectory("fl.accuracy", accs)
+	obs.RecordTrajectory("fl.loss", losses)
+}

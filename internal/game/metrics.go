@@ -1,0 +1,12 @@
+package game
+
+import "tradefl/internal/obs"
+
+// Equilibrium-audit telemetry. Only the low-frequency audit entry points
+// are instrumented; Payoff/Potential evaluations are the innermost hot
+// loops of both solvers and stay instrumentation-free.
+var (
+	mNashChecks     = obs.NewCounter("tradefl_game_nash_checks_total", "CheckNash audits performed")
+	mNashViolations = obs.NewCounter("tradefl_game_nash_violations_total", "CheckNash audits that found a profitable deviation")
+	mNashRegret     = obs.NewGauge("tradefl_game_nash_max_regret", "largest unilateral payoff improvement found by the last CheckNash audit")
+)

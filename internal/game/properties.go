@@ -58,6 +58,11 @@ func (c *Config) CheckNash(p Profile, gridRes int, tol float64) NashReport {
 		work[i] = orig
 	}
 	report.IsNash = report.MaxRegret <= tol
+	mNashChecks.Inc()
+	mNashRegret.Set(report.MaxRegret)
+	if !report.IsNash {
+		mNashViolations.Inc()
+	}
 	return report
 }
 

@@ -23,11 +23,14 @@
 package gbd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"tradefl/internal/game"
+	"tradefl/internal/obs"
 	"tradefl/internal/optimize"
 	"tradefl/internal/parallel"
 )
@@ -141,6 +144,11 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 		return nil, errors.New("gbd: personalization extension not supported; use DBR")
 	}
 	opts = opts.withDefaults()
+	mRuns.Inc()
+	solveStart := time.Now()
+	_, root := obs.Span(context.Background(), "gbd.solve")
+	defer mSolveSec.ObserveSince(solveStart)
+	defer root.End()
 	n := cfg.N()
 	s := &solver{
 		cfg:     cfg,
@@ -169,7 +177,13 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 	var best game.Profile
 	for k := 0; k < opts.MaxIter; k++ {
 		res.Iterations = k + 1
+		mIterations.Inc()
+		iterSpan := root.StartChild("gbd.iter")
+		primalStart := time.Now()
+		primalSpan := iterSpan.StartChild("gbd.primal")
 		d, u, feasible := s.solvePrimal(f)
+		primalSpan.End()
+		mPrimalSec.ObserveSince(primalStart)
 		if feasible {
 			p := toProfile(d, f)
 			val := cfg.Potential(p)
@@ -191,9 +205,15 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 				pHat:     cfg.Accuracy.Value(omegaHat),
 				pSlope:   cfg.Accuracy.Derivative(omegaHat),
 			})
+			mOptCuts.Inc()
 		} else {
+			feasStart := time.Now()
+			feasSpan := iterSpan.StartChild("gbd.feasibility")
 			lambda := s.solveFeasibility(f)
+			feasSpan.End()
+			mFeasSec.ObserveSince(feasStart)
 			s.feasCuts = append(s.feasCuts, feasibilityCut{d: d, lambda: lambda})
+			mFeasCuts.Inc()
 			if len(res.PotentialTrace) > 0 {
 				res.PotentialTrace = append(res.PotentialTrace, res.PotentialTrace[len(res.PotentialTrace)-1])
 			} else {
@@ -202,8 +222,13 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 		}
 		res.LowerBounds = append(res.LowerBounds, lb)
 
+		masterStart := time.Now()
+		masterSpan := iterSpan.StartChild("gbd.master")
 		fNext, phi, ok := s.solveMaster()
+		masterSpan.End()
+		mMasterSec.ObserveSince(masterStart)
 		if !ok {
+			iterSpan.End()
 			if best == nil {
 				return nil, ErrInfeasible
 			}
@@ -217,6 +242,7 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 			ub = phi
 		}
 		res.UpperBounds = append(res.UpperBounds, ub)
+		iterSpan.End()
 		if ub-lb <= opts.Epsilon {
 			res.Converged = true
 			break
@@ -228,7 +254,29 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 	}
 	res.Profile = best
 	res.Potential = lb
+	s.publish(res, ub-lb)
 	return res, nil
+}
+
+// publish records the run's outcome gauges and trajectories for the
+// diagnostics endpoints (tradefl_gbd_* gauges, /runz trajectories).
+func (s *solver) publish(res *Result, gap float64) {
+	if res.Converged {
+		mConverged.Inc()
+	}
+	mGap.Set(gap)
+	mPotential.Set(res.Potential)
+	mWelfare.Set(s.cfg.SocialWelfare(res.Profile))
+	obs.RecordTrajectory("gbd.lower_bound", res.LowerBounds)
+	obs.RecordTrajectory("gbd.upper_bound", res.UpperBounds)
+	obs.RecordTrajectory("gbd.potential", res.PotentialTrace)
+	gaps := make([]float64, 0, len(res.UpperBounds))
+	for i := range res.UpperBounds {
+		if i < len(res.LowerBounds) {
+			gaps = append(gaps, res.UpperBounds[i]-res.LowerBounds[i])
+		}
+	}
+	obs.RecordTrajectory("gbd.gap", gaps)
 }
 
 // toProfile assembles a strategy profile from d and f vectors.

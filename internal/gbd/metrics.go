@@ -1,0 +1,21 @@
+package gbd
+
+import "tradefl/internal/obs"
+
+// Telemetry of Algorithm 1. Registered at init so the metric names are
+// present (at zero) in /metrics even before the first solver run; every
+// update on the solve path is a single atomic operation.
+var (
+	mRuns       = obs.NewCounter("tradefl_gbd_runs_total", "CGBD solver runs started")
+	mIterations = obs.NewCounter("tradefl_gbd_iterations_total", "CGBD iterations completed across all runs")
+	mOptCuts    = obs.NewCounter("tradefl_gbd_optimality_cuts_total", "optimality cuts added to the master problem")
+	mFeasCuts   = obs.NewCounter("tradefl_gbd_feasibility_cuts_total", "feasibility cuts added to the master problem")
+	mConverged  = obs.NewCounter("tradefl_gbd_converged_total", "CGBD runs that reached UB-LB <= epsilon")
+	mGap        = obs.NewGauge("tradefl_gbd_bound_gap", "UB-LB optimality gap at exit of the last CGBD run")
+	mPotential  = obs.NewGauge("tradefl_gbd_potential", "potential U at the incumbent of the last CGBD run")
+	mWelfare    = obs.NewGauge("tradefl_gbd_social_welfare", "social welfare at the solution of the last CGBD run")
+	mPrimalSec  = obs.NewHistogram("tradefl_gbd_primal_seconds", "wall time of primal problem (19) solves", obs.TimeBuckets)
+	mMasterSec  = obs.NewHistogram("tradefl_gbd_master_seconds", "wall time of master problem (23) solves", obs.TimeBuckets)
+	mFeasSec    = obs.NewHistogram("tradefl_gbd_feasibility_seconds", "wall time of feasibility-check problem (21) solves", obs.TimeBuckets)
+	mSolveSec   = obs.NewHistogram("tradefl_gbd_solve_seconds", "end-to-end wall time of CGBD runs", obs.TimeBuckets)
+)

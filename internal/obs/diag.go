@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DiagServer is the opt-in HTTP diagnostics endpoint of a TradeFL process:
+// /metrics (Prometheus text; ?format=json for JSON), /healthz, /runz (the
+// last run's span trees and solver trajectories) and /debug/pprof.
+type DiagServer struct {
+	srv   *http.Server
+	ln    net.Listener
+	start time.Time
+}
+
+// StartDiag binds addr (e.g. "127.0.0.1:6060" or ":0") and serves
+// diagnostics until Close.
+func StartDiag(addr string) (*DiagServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: diag listen %s: %w", addr, err)
+	}
+	d := &DiagServer{ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/healthz", d.handleHealthz)
+	mux.HandleFunc("/runz", d.handleRunz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := d.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			Component("obs").Error("diag server stopped", "err", err)
+		}
+	}()
+	return d, nil
+}
+
+// Addr returns the bound address.
+func (d *DiagServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server.
+func (d *DiagServer) Close() error { return d.srv.Close() }
+
+func (d *DiagServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := Default.WriteJSON(w); err != nil {
+			Component("obs").Debug("metrics json write failed", "err", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := Default.WritePrometheus(w); err != nil {
+		Component("obs").Debug("metrics write failed", "err", err)
+	}
+}
+
+func (d *DiagServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(d.start).Seconds(),
+	})
+}
+
+func (d *DiagServer) handleRunz(w http.ResponseWriter, _ *http.Request) {
+	raw, err := LastRunJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(raw)
+}
+
+// Flags is the standard telemetry flag set every TradeFL command exposes.
+type Flags struct {
+	Level    *string
+	Format   *string
+	DiagAddr *string
+}
+
+// RegisterFlags adds -log-level, -log-format and -diag-addr to fs.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		Level:    fs.String("log-level", "info", "minimum log level: debug|info|warn|error"),
+		Format:   fs.String("log-format", "text", "log output format: text|json"),
+		DiagAddr: fs.String("diag-addr", "", "serve /metrics, /healthz, /runz and /debug/pprof on this address (empty = disabled)"),
+	}
+}
+
+// Apply installs the logging configuration and, when -diag-addr was given,
+// starts the diagnostics server (returned non-nil; callers should defer
+// Close). It logs the bound diagnostics address at info level.
+func (f *Flags) Apply() (*DiagServer, error) {
+	if err := ConfigureLogging(*f.Level, *f.Format, nil); err != nil {
+		return nil, err
+	}
+	if *f.DiagAddr == "" {
+		return nil, nil
+	}
+	d, err := StartDiag(*f.DiagAddr)
+	if err != nil {
+		return nil, err
+	}
+	Component("obs").Info("diagnostics serving", "addr", d.Addr())
+	return d, nil
+}

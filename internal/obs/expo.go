@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// formatValue renders a float in Prometheus text form ("+Inf", "-Inf" and
+// "NaN" are legal sample values in the exposition format).
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE comments followed by samples,
+// with histograms expanded into cumulative _bucket{le="..."} series plus
+// _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+			return err
+		}
+		switch s.Kind {
+		case "histogram":
+			for _, b := range s.Buckets {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, formatValue(b.UpperBound), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", s.Name, formatValue(s.Sum), s.Name, s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonSample mirrors Sample with JSON-safe floats (NaN/±Inf marshal as
+// null, which encoding/json otherwise rejects).
+type jsonSample struct {
+	Name    string        `json:"name"`
+	Kind    string        `json:"kind"`
+	Help    string        `json:"help,omitempty"`
+	Value   *float64      `json:"value,omitempty"`
+	Count   int64         `json:"count,omitempty"`
+	Sum     *float64      `json:"sum,omitempty"`
+	Buckets []jsonBucket  `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	UpperBound *float64 `json:"upperBound"`
+	Count      int64    `json:"count"`
+}
+
+// safeFloat returns a pointer to v, or nil when v is not finite.
+func safeFloat(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// toJSONSamples converts a snapshot into its JSON-safe form.
+func toJSONSamples(samples []Sample) []jsonSample {
+	out := make([]jsonSample, 0, len(samples))
+	for _, s := range samples {
+		js := jsonSample{Name: s.Name, Kind: s.Kind, Help: s.Help, Count: s.Count}
+		switch s.Kind {
+		case "histogram":
+			js.Sum = safeFloat(s.Sum)
+			for _, b := range s.Buckets {
+				js.Buckets = append(js.Buckets, jsonBucket{UpperBound: safeFloat(b.UpperBound), Count: b.Count})
+			}
+		default:
+			js.Value = safeFloat(s.Value)
+		}
+		out = append(out, js)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as a JSON array of samples.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toJSONSamples(r.Snapshot()))
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// SpanNode is one completed (or in-flight) span of a wall-time tree.
+// Fields are written by the owning goroutine; Children is guarded by mu so
+// spans may be started from concurrent goroutines under one parent.
+type SpanNode struct {
+	Name          string      `json:"name"`
+	StartUnixNano int64       `json:"startUnixNano"`
+	DurationNanos int64       `json:"durationNanos"`
+	Children      []*SpanNode `json:"children,omitempty"`
+
+	mu sync.Mutex
+}
+
+func (n *SpanNode) addChild(c *SpanNode) {
+	n.mu.Lock()
+	n.Children = append(n.Children, c)
+	n.mu.Unlock()
+}
+
+// Duration returns the recorded wall time of the span.
+func (n *SpanNode) Duration() time.Duration { return time.Duration(n.DurationNanos) }
+
+// ActiveSpan is a started span; call End exactly once.
+type ActiveSpan struct {
+	node  *SpanNode
+	start time.Time
+	root  bool
+}
+
+// Node exposes the underlying tree node (valid after End for durations).
+func (s *ActiveSpan) Node() *SpanNode { return s.node }
+
+// spanKey carries the current span through a context.
+type spanKey struct{}
+
+// Span starts a span named name. If ctx already carries a span, the new
+// span is attached as its child; otherwise it is a root span, and its
+// completed tree is published to the last-run store on End. The returned
+// context carries the new span for further nesting.
+func Span(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	now := time.Now()
+	s := &ActiveSpan{
+		node:  &SpanNode{Name: name, StartUnixNano: now.UnixNano()},
+		start: now,
+	}
+	if parent, ok := ctx.Value(spanKey{}).(*ActiveSpan); ok && parent != nil {
+		parent.node.addChild(s.node)
+	} else {
+		s.root = true
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// StartChild starts a child span without threading a context — the cheap
+// path for call sites that own both ends of the span (solver loops). The
+// child does not publish on End; the root it hangs under does.
+func (s *ActiveSpan) StartChild(name string) *ActiveSpan {
+	now := time.Now()
+	c := &ActiveSpan{
+		node:  &SpanNode{Name: name, StartUnixNano: now.UnixNano()},
+		start: now,
+	}
+	s.node.addChild(c.node)
+	return c
+}
+
+// End records the span's duration; a root span additionally publishes its
+// tree to the last-run store under its name.
+func (s *ActiveSpan) End() {
+	s.node.DurationNanos = int64(time.Since(s.start))
+	if s.root {
+		defaultRuns.setSpan(s.node)
+	}
+}
+
+// runStore keeps the most recent completed root span per name plus named
+// numeric trajectories (e.g. a solver's bound gap per iteration) for the
+// /runz endpoint.
+type runStore struct {
+	mu    sync.Mutex
+	spans map[string]*SpanNode
+	traj  map[string][]float64
+}
+
+var defaultRuns = &runStore{
+	spans: make(map[string]*SpanNode),
+	traj:  make(map[string][]float64),
+}
+
+func (r *runStore) setSpan(n *SpanNode) {
+	r.mu.Lock()
+	r.spans[n.Name] = n
+	r.mu.Unlock()
+}
+
+// RecordTrajectory publishes a named per-iteration series of the most
+// recent run (the slice is copied).
+func RecordTrajectory(name string, values []float64) {
+	cp := append([]float64(nil), values...)
+	defaultRuns.mu.Lock()
+	defaultRuns.traj[name] = cp
+	defaultRuns.mu.Unlock()
+}
+
+// runzPayload is the /runz document.
+type runzPayload struct {
+	Spans        map[string]*SpanNode    `json:"spans"`
+	Trajectories map[string][]jsonNumber `json:"trajectories"`
+}
+
+// jsonNumber is a float64 that marshals NaN/±Inf as null.
+type jsonNumber float64
+
+func (v jsonNumber) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	if p := safeFloat(f); p == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(f)
+}
+
+// LastRunJSON renders the last-run store (span trees + trajectories) as
+// JSON.
+func LastRunJSON() ([]byte, error) {
+	defaultRuns.mu.Lock()
+	payload := runzPayload{
+		Spans:        make(map[string]*SpanNode, len(defaultRuns.spans)),
+		Trajectories: make(map[string][]jsonNumber, len(defaultRuns.traj)),
+	}
+	for k, v := range defaultRuns.spans {
+		payload.Spans[k] = v
+	}
+	for k, vs := range defaultRuns.traj {
+		row := make([]jsonNumber, len(vs))
+		for i, f := range vs {
+			row[i] = jsonNumber(f)
+		}
+		payload.Trajectories[k] = row
+	}
+	defaultRuns.mu.Unlock()
+	return json.MarshalIndent(payload, "", "  ")
+}
+
+// LastRunSpan returns the most recent completed root span recorded under
+// name, or nil.
+func LastRunSpan(name string) *SpanNode {
+	defaultRuns.mu.Lock()
+	defer defaultRuns.mu.Unlock()
+	return defaultRuns.spans[name]
+}

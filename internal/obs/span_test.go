@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	ctx, root := Span(context.Background(), "test.root")
+	cctx, child := Span(ctx, "test.child")
+	_, grand := Span(cctx, "test.grand")
+	time.Sleep(time.Millisecond)
+	grand.End()
+	child.End()
+	root.End()
+
+	n := LastRunSpan("test.root")
+	if n == nil {
+		t.Fatal("root span not published")
+	}
+	if len(n.Children) != 1 || n.Children[0].Name != "test.child" {
+		t.Fatalf("root children = %+v, want one test.child", n.Children)
+	}
+	c := n.Children[0]
+	if len(c.Children) != 1 || c.Children[0].Name != "test.grand" {
+		t.Fatalf("child children = %+v, want one test.grand", c.Children)
+	}
+	// Only the root is published to the store.
+	if LastRunSpan("test.child") != nil {
+		t.Error("non-root span leaked into the last-run store")
+	}
+}
+
+func TestSpanDurationsMonotonic(t *testing.T) {
+	ctx, root := Span(context.Background(), "test.durations")
+	_, child := Span(ctx, "test.durations.child")
+	time.Sleep(2 * time.Millisecond)
+	child.End()
+	root.End()
+
+	n := LastRunSpan("test.durations")
+	if n.DurationNanos <= 0 {
+		t.Errorf("root duration = %d, want > 0", n.DurationNanos)
+	}
+	c := n.Children[0]
+	if c.DurationNanos <= 0 {
+		t.Errorf("child duration = %d, want > 0", c.DurationNanos)
+	}
+	if c.DurationNanos > n.DurationNanos {
+		t.Errorf("child duration %d exceeds parent %d", c.DurationNanos, n.DurationNanos)
+	}
+	if c.StartUnixNano < n.StartUnixNano {
+		t.Errorf("child started %d before parent %d", c.StartUnixNano, n.StartUnixNano)
+	}
+}
+
+func TestSpanSiblingsFromGoroutines(t *testing.T) {
+	ctx, root := Span(context.Background(), "test.parallel")
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, s := Span(ctx, "test.parallel.worker")
+			s.End()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	root.End()
+	n := LastRunSpan("test.parallel")
+	if len(n.Children) != 4 {
+		t.Errorf("got %d children, want 4", len(n.Children))
+	}
+}
+
+func TestStartChild(t *testing.T) {
+	_, root := Span(context.Background(), "test.startchild")
+	c := root.StartChild("test.startchild.phase")
+	g := c.StartChild("test.startchild.phase.inner")
+	g.End()
+	c.End()
+	root.End()
+	n := LastRunSpan("test.startchild")
+	if len(n.Children) != 1 || n.Children[0].Name != "test.startchild.phase" {
+		t.Fatalf("children = %+v", n.Children)
+	}
+	if len(n.Children[0].Children) != 1 {
+		t.Fatalf("grandchildren = %+v", n.Children[0].Children)
+	}
+	// Child End never publishes to the last-run store.
+	if LastRunSpan("test.startchild.phase") != nil {
+		t.Error("child span leaked into the last-run store")
+	}
+}
+
+func TestStartChildAllocs(t *testing.T) {
+	_, root := Span(context.Background(), "test.childallocs")
+	defer root.End()
+	allocs := testing.AllocsPerRun(100, func() {
+		s := root.StartChild("test.childallocs.c")
+		s.End()
+	})
+	// SpanNode + ActiveSpan (+ the parent's growing Children slice); the
+	// context-free path must stay cheaper than Span's budget of 8.
+	if allocs > 4 {
+		t.Errorf("StartChild+End allocates %.0f objects per run, budget 4", allocs)
+	}
+}
+
+func TestSpanAllocs(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		sctx, s := Span(ctx, "test.allocs")
+		_ = sctx
+		s.End()
+	})
+	// One SpanNode, one ActiveSpan, one context value — leave headroom for
+	// runtime variation but fail if tracing ever grows a hidden cost.
+	if allocs > 8 {
+		t.Errorf("Span+End allocates %.0f objects per run, budget 8", allocs)
+	}
+}
+
+func TestRecordTrajectoryCopiesAndMarshalsNonFinite(t *testing.T) {
+	vals := []float64{math.Inf(-1), 1.5, math.NaN()}
+	RecordTrajectory("test.traj", vals)
+	vals[1] = 999 // must not affect the stored copy
+
+	raw, err := LastRunJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Trajectories map[string][]*float64 `json:"trajectories"`
+	}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatalf("unmarshal /runz payload: %v\n%s", err, raw)
+	}
+	tr := payload.Trajectories["test.traj"]
+	if len(tr) != 3 {
+		t.Fatalf("trajectory length %d, want 3", len(tr))
+	}
+	if tr[0] != nil || tr[2] != nil {
+		t.Error("non-finite values should marshal as null")
+	}
+	if tr[1] == nil || *tr[1] != 1.5 {
+		t.Errorf("trajectory[1] = %v, want 1.5 (copy must be isolated from caller mutation)", tr[1])
+	}
+	if strings.Contains(string(raw), "NaN") {
+		t.Error("NaN leaked into /runz JSON")
+	}
+}

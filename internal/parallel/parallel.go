@@ -18,7 +18,39 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"tradefl/internal/obs"
 )
+
+// Pool telemetry. Updates happen once per fan-out (never per index), so a
+// fine-grained fan-out like a blocked tensor kernel pays four atomic
+// operations total, not one per row.
+var (
+	mFanouts = obs.NewCounter("tradefl_pool_fanouts_total", "parallel fan-outs dispatched (For/ForCtx/Map with >1 worker)")
+	mTasks   = obs.NewCounter("tradefl_pool_tasks_total", "work items processed by parallel fan-outs")
+	mActive  = obs.NewGauge("tradefl_pool_workers_active", "worker goroutines currently inside a fan-out")
+	mQueued  = obs.NewGauge("tradefl_pool_queue_depth", "work items admitted to in-flight fan-outs")
+	mBusySec = obs.NewGauge("tradefl_pool_worker_busy_seconds_total", "cumulative worker-seconds spent inside fan-outs (utilization = rate / workers)")
+	mFanSec  = obs.NewHistogram("tradefl_pool_fanout_seconds", "wall time of one parallel fan-out", obs.ExpBuckets(1e-6, 4, 12))
+)
+
+// track records one parallel fan-out of n items over `workers` goroutines;
+// the returned func finishes the bookkeeping.
+func track(workers, n int) func() {
+	mFanouts.Inc()
+	mTasks.Add(int64(n))
+	mActive.Add(float64(workers))
+	mQueued.Add(float64(n))
+	start := time.Now()
+	return func() {
+		dt := time.Since(start).Seconds()
+		mActive.Add(float64(-workers))
+		mQueued.Add(float64(-n))
+		mBusySec.Add(dt * float64(workers))
+		mFanSec.Observe(dt)
+	}
+}
 
 // defaultWorkers overrides the process-wide default worker count when
 // positive; 0 means "use GOMAXPROCS". Set from CLI flags (-workers).
@@ -71,6 +103,7 @@ func For(workers, n int, fn func(i int)) {
 		}
 		return
 	}
+	defer track(workers, n)()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -112,6 +145,7 @@ func ForCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 		}
 		return nil
 	}
+	defer track(workers, n)()
 	var (
 		next    atomic.Int64
 		stopped atomic.Bool

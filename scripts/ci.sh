@@ -18,8 +18,38 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
+echo "==> go test -race ./internal/obs (telemetry fast gate)"
+go test -race ./internal/obs/
+
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> diag smoke (tradefl-sim -diag-addr)"
+DIAG_ADDR="${DIAG_ADDR:-127.0.0.1:6161}"
+DIAG_BIN="$(mktemp -d)/tradefl-sim"
+go build -o "$DIAG_BIN" ./cmd/tradefl-sim
+"$DIAG_BIN" -fig fig5 -quick -summary none \
+  -diag-addr "$DIAG_ADDR" -diag-hold 60s >/dev/null &
+SIM_PID=$!
+trap 'kill "$SIM_PID" 2>/dev/null || true' EXIT
+up=0
+for _ in $(seq 1 50); do
+  if curl -fsS "http://$DIAG_ADDR/healthz" 2>/dev/null | grep -q '"status":"ok"'; then
+    up=1
+    break
+  fi
+  sleep 0.2
+done
+[ "$up" -eq 1 ] || { echo "diag smoke: /healthz never became healthy"; exit 1; }
+metrics="$(curl -fsS "http://$DIAG_ADDR/metrics")"
+for name in tradefl_gbd_iterations_total tradefl_dbr_rounds_total tradefl_fl_round_accuracy; do
+  echo "$metrics" | grep -q "^$name " || { echo "diag smoke: $name missing from /metrics"; exit 1; }
+done
+echo "$metrics" | grep -q '^tradefl_dbr_rounds_total [1-9]' \
+  || { echo "diag smoke: tradefl_dbr_rounds_total still zero after a DBR run"; exit 1; }
+kill "$SIM_PID" 2>/dev/null || true
+wait "$SIM_PID" 2>/dev/null || true
+trap - EXIT
 
 echo "==> bench regression smoke"
 sleep "${BENCH_SETTLE_SECS:-15}" # let CPU contention from the race suite drain
