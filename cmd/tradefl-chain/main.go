@@ -15,11 +15,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"tradefl/internal/chain"
+	"tradefl/internal/faults"
 	"tradefl/internal/game"
 	"tradefl/internal/obs"
 	"tradefl/internal/randx"
@@ -49,6 +51,7 @@ func run(args []string) error {
 		keys   = fs.String("keys", "", "write member key/address info to this file")
 		fund   = fs.Int64("fund", 1_000_000_000, "genesis balance per member (wei)")
 		store  = fs.String("store", "", "persist the chain to this file (reloaded if present)")
+		chaos  = fs.String("chaos", "", "inject server-side RPC faults, e.g. \"seed=7,rpcfail=0.1,rpcdelayp=0.2\"")
 
 		obsFlags = obs.RegisterFlags(fs)
 	)
@@ -114,7 +117,21 @@ func run(args []string) error {
 		}
 		return bc.Save(*store, params, alloc)
 	}
-	srv, err := chain.NewServer(bc, *listen)
+	var mw func(http.Handler) http.Handler
+	if *chaos != "" {
+		plan, err := faults.ParsePlan(*chaos)
+		if err != nil {
+			return err
+		}
+		inj, err := faults.NewInjector(plan)
+		if err != nil {
+			return err
+		}
+		defer inj.Close()
+		mw = func(h http.Handler) http.Handler { return inj.Middleware("chain", h) }
+		fmt.Println("tradefl-chain: injecting RPC faults:", plan.String())
+	}
+	srv, err := chain.NewServerWith(bc, *listen, mw)
 	if err != nil {
 		return err
 	}

@@ -47,6 +47,9 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 7, "seed of the shared game instance")
 		timeout  = fs.Duration("timeout", 2*time.Minute, "protocol deadline")
 		recovery = fs.Duration("recovery", 10*time.Second, "token-timeout crash recovery (0 disables)")
+		suspect  = fs.Int("suspect-after", 0, "token resends to the same silent peer before skipping it as crashed (0 = default 2, negative = skip immediately)")
+		retries  = fs.Int("send-retries", transport.DefaultSendAttempts, "TCP send attempts before a peer counts as unreachable")
+		backoff  = fs.Duration("send-backoff", transport.DefaultSendBackoff, "base backoff between TCP send attempts")
 		workers  = fs.Int("workers", 0, "best-response worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		obsFlags = obs.RegisterFlags(fs)
 	)
@@ -67,16 +70,27 @@ func run(args []string) error {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	opts := dbr.Options{TokenTimeout: *recovery}
+	opts := dbr.Options{TokenTimeout: *recovery, SuspectAfter: *suspect}
+	retry := sendPolicy{attempts: *retries, backoff: *backoff}
 	if *local {
-		return runLocal(ctx, cfg, opts)
+		return runLocal(ctx, cfg, opts, retry)
 	}
-	return runMember(ctx, cfg, opts, *index, *listen, *peers)
+	return runMember(ctx, cfg, opts, retry, *index, *listen, *peers)
+}
+
+// sendPolicy carries the TCP send retry flags to the node constructors.
+type sendPolicy struct {
+	attempts int
+	backoff  time.Duration
+}
+
+func (p sendPolicy) apply(n *transport.TCPNode) {
+	n.SetSendRetryPolicy(p.attempts, p.backoff)
 }
 
 // runLocal spawns every organization in-process over loopback TCP and
 // prints the agreed equilibrium.
-func runLocal(ctx context.Context, cfg *game.Config, opts dbr.Options) error {
+func runLocal(ctx context.Context, cfg *game.Config, opts dbr.Options, retry sendPolicy) error {
 	n := cfg.N()
 	names := make([]string, n)
 	tcp := make([]*transport.TCPNode, n)
@@ -86,6 +100,7 @@ func runLocal(ctx context.Context, cfg *game.Config, opts dbr.Options) error {
 		if err != nil {
 			return err
 		}
+		retry.apply(node)
 		tcp[i] = node
 		defer tcp[i].Close()
 	}
@@ -126,7 +141,7 @@ func runLocal(ctx context.Context, cfg *game.Config, opts dbr.Options) error {
 }
 
 // runMember runs a single organization against remote peers.
-func runMember(ctx context.Context, cfg *game.Config, opts dbr.Options, index int, listen, peerList string) error {
+func runMember(ctx context.Context, cfg *game.Config, opts dbr.Options, retry sendPolicy, index int, listen, peerList string) error {
 	if index < 0 || index >= cfg.N() {
 		return fmt.Errorf("-index %d out of range [0,%d)", index, cfg.N())
 	}
@@ -145,6 +160,7 @@ func runMember(ctx context.Context, cfg *game.Config, opts dbr.Options, index in
 	if err != nil {
 		return err
 	}
+	retry.apply(tcp)
 	defer tcp.Close()
 	for i, addr := range addrs {
 		tcp.RegisterPeer(names[i], strings.TrimSpace(addr))

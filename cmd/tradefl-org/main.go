@@ -51,6 +51,9 @@ func run(args []string) error {
 		timeout = fs.Duration("timeout", 2*time.Minute, "settlement deadline")
 		workers = fs.Int("workers", 0, "best-response worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 
+		rpcTimeout = fs.Duration("rpc-timeout", 10*time.Second, "per-RPC-attempt deadline")
+		rpcRetries = fs.Int("rpc-retries", 3, "RPC retries after a transport failure (negative disables)")
+
 		obsFlags = obs.RegisterFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -99,7 +102,10 @@ func run(args []string) error {
 		fmt.Printf("solved equilibrium: d=%.4f f=%.2f GHz\n", strategy.D, strategy.F/1e9)
 	}
 
-	client := chain.NewClient(*rpc)
+	client := chain.NewClientOpts(*rpc, chain.ClientOptions{
+		Timeout:    *rpcTimeout,
+		MaxRetries: *rpcRetries,
+	})
 	deadline := time.Now().Add(*timeout)
 	send := func(fn chain.Function, fnArgs any, value chain.Wei) error {
 		nonce, err := client.Nonce(acct.Address())

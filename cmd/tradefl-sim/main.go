@@ -7,9 +7,11 @@
 //	tradefl-sim -fig fig7 [-seed 7] [-quick]
 //	tradefl-sim -all -out results/
 //	tradefl-sim -fig table2 -diag-addr 127.0.0.1:6060 -diag-hold 30s
+//	tradefl-sim -chaos "seed=7,drop=0.15,dup=0.05,rpcfail=0.1,rpclost=0.05"
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -18,6 +20,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"tradefl/internal/chaos"
 	"tradefl/internal/experiments"
 	"tradefl/internal/obs"
 	"tradefl/internal/parallel"
@@ -36,6 +39,7 @@ func run(args []string) error {
 		fig      = fs.String("fig", "", "experiment id to run (see -list)")
 		all      = fs.Bool("all", false, "run every experiment")
 		list     = fs.Bool("list", false, "list experiment ids")
+		chaosRun = fs.String("chaos", "", "run a seeded chaos soak instead of an experiment, e.g. \"seed=7,drop=0.15,rpclost=0.05\" (keys: seed drop dup delayp delaymin delaymax partition crash rpcfail rpclost rpcdelayp orgs game token suspect seal settle)")
 		seed     = fs.Int64("seed", 7, "random seed of the reference instance")
 		quick    = fs.Bool("quick", false, "coarse sweeps and short FL runs")
 		out      = fs.String("out", "", "directory for CSV files (default stdout)")
@@ -61,6 +65,22 @@ func run(args []string) error {
 		defer diag.Close()
 	}
 	parallel.SetDefault(*workers)
+	if *chaosRun != "" {
+		copts, err := chaos.ParseSpec(*chaosRun)
+		if err != nil {
+			return err
+		}
+		rep, err := chaos.Run(context.Background(), copts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.String())
+		if diag != nil && *diagHold > 0 {
+			obs.Component("sim").Info("holding diagnostics server", "addr", diag.Addr(), "hold", *diagHold)
+			time.Sleep(*diagHold)
+		}
+		return rep.Err()
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)

@@ -17,6 +17,11 @@ var (
 	ErrBrokenLink          = errors.New("chain: broken block link")
 	ErrBadSeal             = errors.New("chain: invalid authority seal")
 	ErrBadStateRoot        = errors.New("chain: state root mismatch")
+	// ErrTxAlreadyKnown rejects a resubmission of a transaction that is
+	// already pending or sealed. It makes SubmitTx idempotent: a client
+	// whose first submission's response was lost can retry blindly and
+	// treat this error as acceptance (chain.IsAlreadyKnown).
+	ErrTxAlreadyKnown = errors.New("chain: transaction already known")
 )
 
 // Receipt reports the outcome of one transaction inside a block.
@@ -150,13 +155,30 @@ func (bc *Blockchain) seal(b *Block) error {
 	return nil
 }
 
-// SubmitTx validates a transaction and adds it to the mempool.
+// SubmitTx validates a transaction and adds it to the mempool. An exact
+// resubmission (same hash) of a pending or sealed transaction is rejected
+// with ErrTxAlreadyKnown, which retrying clients treat as success — the
+// dedup that makes at-least-once submission safe under lost responses.
 func (bc *Blockchain) SubmitTx(tx Transaction) error {
 	if err := tx.Verify(); err != nil {
 		return err
 	}
+	hash, err := tx.Hash()
+	if err != nil {
+		return err
+	}
 	bc.mu.Lock()
 	defer bc.mu.Unlock()
+	for _, p := range bc.pool {
+		if h, err := p.Hash(); err == nil && h == hash {
+			mTxDeduped.Inc()
+			return fmt.Errorf("%w: %s pending", ErrTxAlreadyKnown, hash)
+		}
+	}
+	if rcpt := bc.receiptLocked(hash); rcpt != nil {
+		mTxDeduped.Inc()
+		return fmt.Errorf("%w: %s sealed at height %d", ErrTxAlreadyKnown, hash, rcpt.Height)
+	}
 	// Nonce must follow the pending sequence (state nonce + queued txs).
 	expected := bc.st.Nonces[tx.From]
 	for _, p := range bc.pool {
@@ -307,15 +329,24 @@ func (bc *Blockchain) BlockAt(height uint64) (*Block, error) {
 func (bc *Blockchain) ReceiptByHash(txHash string) (*Receipt, error) {
 	bc.mu.RLock()
 	defer bc.mu.RUnlock()
+	if rcpt := bc.receiptLocked(txHash); rcpt != nil {
+		return rcpt, nil
+	}
+	return nil, fmt.Errorf("chain: no sealed receipt for tx %s", txHash)
+}
+
+// receiptLocked scans sealed blocks newest-first for txHash; callers hold
+// at least a read lock.
+func (bc *Blockchain) receiptLocked(txHash string) *Receipt {
 	for i := len(bc.blocks) - 1; i >= 0; i-- {
 		for _, r := range bc.blocks[i].Receipts {
 			if r.TxHash == txHash {
 				rcpt := r
-				return &rcpt, nil
+				return &rcpt
 			}
 		}
 	}
-	return nil, fmt.Errorf("chain: no sealed receipt for tx %s", txHash)
+	return nil
 }
 
 // ContractView runs fn with read access to the contract state.

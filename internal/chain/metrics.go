@@ -17,4 +17,15 @@ var (
 	mSealSec     = obs.NewHistogram("tradefl_chain_seal_seconds", "wall time of SealBlock incl. state-root computation", obs.TimeBuckets)
 	mRPCRequests = obs.NewCounter("tradefl_chain_rpc_requests_total", "JSON-RPC requests served")
 	mRPCErrors   = obs.NewCounter("tradefl_chain_rpc_errors_total", "JSON-RPC requests answered with an error object")
+	mTxDeduped   = obs.NewCounter("tradefl_chain_tx_deduped_total", "resubmissions rejected because the transaction was already pending or sealed")
+)
+
+// Client-side resilience telemetry: how often the RPC client had to retry
+// a transport failure, gave up, or recovered from a lost response via the
+// already-known dedup path.
+var (
+	mClientRetries = obs.NewCounter("tradefl_chain_client_retries_total", "RPC calls retried after a transport failure")
+	mClientGiveups = obs.NewCounter("tradefl_chain_client_giveups_total", "RPC calls abandoned after exhausting every retry")
+	mClientDedups  = obs.NewCounter("tradefl_chain_client_submit_dedups_total", "SubmitTx retries resolved as success because the chain already knew the transaction")
+	mClientCallSec = obs.NewHistogram("tradefl_chain_client_call_seconds", "wall time of a client Call incl. retries and backoff", obs.TimeBuckets)
 )

@@ -7,8 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tradefl/internal/obs"
@@ -80,13 +84,24 @@ type Server struct {
 // NewServer wraps the chain in an RPC server listening on addr
 // (e.g. "127.0.0.1:0"). Call Serve to start and Close to stop.
 func NewServer(bc *Blockchain, addr string) (*Server, error) {
+	return NewServerWith(bc, addr, nil)
+}
+
+// NewServerWith is NewServer with an optional handler middleware wrapped
+// around the RPC endpoint — the hook chaos runs use to inject server-side
+// failures and delays without touching the dispatch path.
+func NewServerWith(bc *Blockchain, addr string, mw func(http.Handler) http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("chain rpc: listen: %w", err)
 	}
 	s := &Server{bc: bc, ln: ln}
+	var h http.Handler = http.HandlerFunc(s.handle)
+	if mw != nil {
+		h = mw(h)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/rpc", s.handle)
+	mux.Handle("/rpc", h)
 	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	return s, nil
 }
@@ -154,8 +169,15 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The client only sees the JSON-RPC error object; record the
 		// failure server-side before it is swallowed into the response.
+		// Receipt misses are routine (clients poll until their tx seals),
+		// as are duplicate submissions (clients resend after a lost
+		// response), so they stay at debug rather than flooding the log.
 		mRPCErrors.Inc()
-		rpcLog.Warn("dispatch failed", "method", req.Method, "id", req.ID, "err", err)
+		if req.Method == MethodGetReceipt || errors.Is(err, ErrTxAlreadyKnown) {
+			rpcLog.Debug("dispatch failed", "method", req.Method, "id", req.ID, "err", err)
+		} else {
+			rpcLog.Warn("dispatch failed", "method", req.Method, "id", req.ID, "err", err)
+		}
 		writeRPC(w, req.ID, nil, &rpcError{Code: -32000, Message: err.Error()})
 		return
 	}
@@ -271,25 +293,146 @@ func (s *Server) dispatch(method string, params json.RawMessage) (any, error) {
 	}
 }
 
-// Client is a Web3-style client for the node's RPC interface.
+// RPCError is a server-side rejection: the request reached the node and
+// was answered with a JSON-RPC error object. It is never retried — the
+// node already executed (and refused) the call deterministically.
+type RPCError struct {
+	Code    int
+	Message string
+}
+
+func (e *RPCError) Error() string { return fmt.Sprintf("chain rpc: %s", e.Message) }
+
+// ClientOptions tunes the client's resilience: per-call deadlines and
+// capped exponential backoff with jitter on transport failures.
+type ClientOptions struct {
+	// Timeout bounds each RPC attempt (default 10s).
+	Timeout time.Duration
+	// MaxRetries is the number of re-attempts after the first failed try
+	// (default 3). Only transport failures are retried; RPCError responses
+	// are returned immediately.
+	MaxRetries int
+	// BaseBackoff is the first retry delay (default 50ms); each further
+	// retry doubles it up to MaxBackoff (default 2s), with ±50% jitter.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterSeed seeds the backoff jitter stream; 0 derives it from the
+	// clock. Fix it to make retry timing reproducible in tests.
+	JitterSeed int64
+	// Transport overrides the HTTP transport (fault injection in chaos
+	// runs); nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.JitterSeed == 0 {
+		o.JitterSeed = time.Now().UnixNano()
+	}
+	return o
+}
+
+// Client is a Web3-style client for the node's RPC interface. It is safe
+// for concurrent use; transient transport failures are retried with
+// capped exponential backoff, server rejections are not.
 type Client struct {
 	url  string
 	http *http.Client
-	id   int64
+	opts ClientOptions
+	id   atomic.Int64
+
+	jmu    sync.Mutex
+	jitter *rand.Rand
 }
 
-// NewClient targets the node at addr (host:port).
+// NewClient targets the node at addr (host:port) with default options.
 func NewClient(addr string) *Client {
+	return NewClientOpts(addr, ClientOptions{})
+}
+
+// NewClientOpts targets the node at addr with explicit resilience options.
+func NewClientOpts(addr string, opts ClientOptions) *Client {
+	opts = opts.withDefaults()
+	hc := &http.Client{Timeout: opts.Timeout}
+	if opts.Transport != nil {
+		hc.Transport = opts.Transport
+	}
 	return &Client{
-		url:  "http://" + addr + "/rpc",
-		http: &http.Client{Timeout: 10 * time.Second},
+		url:    "http://" + addr + "/rpc",
+		http:   hc,
+		opts:   opts,
+		jitter: rand.New(rand.NewSource(opts.JitterSeed)),
 	}
 }
 
 // Call invokes method with params, decoding the result into out (may be
-// nil to discard).
+// nil to discard). It retries transport failures per the client options.
 func (c *Client) Call(method string, params, out any) error {
-	c.id++
+	return c.CallCtx(context.Background(), method, params, out)
+}
+
+// CallCtx is Call with caller-controlled cancellation: the context bounds
+// the whole retry loop, while ClientOptions.Timeout bounds each attempt.
+func (c *Client) CallCtx(ctx context.Context, method string, params, out any) error {
+	callStart := time.Now()
+	defer mClientCallSec.ObserveSince(callStart)
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			mClientRetries.Inc()
+			rpcLog.Debug("retrying call", "method", method, "attempt", attempt+1, "err", lastErr)
+			select {
+			case <-time.After(c.backoff(attempt)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		err := c.doOnce(ctx, method, params, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var rerr *RPCError
+		if errors.As(err, &rerr) {
+			// The node answered: deterministic rejection, never retried.
+			return err
+		}
+		if ctx.Err() != nil {
+			return lastErr
+		}
+	}
+	mClientGiveups.Inc()
+	rpcLog.Warn("call failed after retries", "method", method, "attempts", c.opts.MaxRetries+1, "err", lastErr)
+	return lastErr
+}
+
+// backoff returns the capped, jittered delay before retry `attempt`.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.BaseBackoff << (attempt - 1)
+	if d > c.opts.MaxBackoff || d <= 0 {
+		d = c.opts.MaxBackoff
+	}
+	c.jmu.Lock()
+	frac := 0.5 + c.jitter.Float64() // ±50% jitter
+	c.jmu.Unlock()
+	return time.Duration(float64(d) * frac)
+}
+
+// doOnce performs a single request/response cycle.
+func (c *Client) doOnce(ctx context.Context, method string, params, out any) error {
 	var raw json.RawMessage
 	if params != nil {
 		b, err := json.Marshal(params)
@@ -298,11 +441,19 @@ func (c *Client) Call(method string, params, out any) error {
 		}
 		raw = b
 	}
-	reqBody, err := json.Marshal(rpcRequest{JSONRPC: "2.0", ID: c.id, Method: method, Params: raw})
+	id := c.id.Add(1)
+	reqBody, err := json.Marshal(rpcRequest{JSONRPC: "2.0", ID: id, Method: method, Params: raw})
 	if err != nil {
 		return err
 	}
-	resp, err := c.http.Post(c.url, "application/json", bytes.NewReader(reqBody))
+	attemptCtx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, c.url, bytes.NewReader(reqBody))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("chain rpc: %w", err)
 	}
@@ -312,7 +463,7 @@ func (c *Client) Call(method string, params, out any) error {
 		return fmt.Errorf("chain rpc: decode: %w", err)
 	}
 	if rpcResp.Error != nil {
-		return fmt.Errorf("chain rpc: %s", rpcResp.Error.Message)
+		return &RPCError{Code: rpcResp.Error.Code, Message: rpcResp.Error.Message}
 	}
 	if out != nil {
 		if err := json.Unmarshal(rpcResp.Result, out); err != nil {
@@ -322,9 +473,36 @@ func (c *Client) Call(method string, params, out any) error {
 	return nil
 }
 
-// SubmitTx submits a signed transaction.
+// SubmitTx submits a signed transaction. It is retry-safe: a resubmission
+// whose earlier attempt was accepted (response lost in flight) is
+// answered "already known" by the node and reported as success here; the
+// transaction's actual outcome is in its sealed receipt.
 func (c *Client) SubmitTx(tx *Transaction) error {
-	return c.Call(MethodSubmitTx, tx, nil)
+	return c.SubmitTxCtx(context.Background(), tx)
+}
+
+// SubmitTxCtx is SubmitTx with caller-controlled cancellation.
+func (c *Client) SubmitTxCtx(ctx context.Context, tx *Transaction) error {
+	err := c.CallCtx(ctx, MethodSubmitTx, tx, nil)
+	if IsAlreadyKnown(err) {
+		mClientDedups.Inc()
+		return nil
+	}
+	return err
+}
+
+// IsAlreadyKnown reports whether err is the node's duplicate-transaction
+// rejection — the signal that a retried submission had already been
+// accepted, which SubmitTx treats as idempotent success.
+func IsAlreadyKnown(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTxAlreadyKnown) {
+		return true
+	}
+	var rerr *RPCError
+	return errors.As(err, &rerr) && strings.Contains(rerr.Message, ErrTxAlreadyKnown.Error())
 }
 
 // SealBlock asks the authority node to seal the pending pool.

@@ -1,0 +1,555 @@
+// Package chaos is TradeFL's seeded soak harness: it runs the two
+// distributed subsystems — the DBR token ring (Algorithm 2) and the
+// on-chain settlement lifecycle (Fig. 3) — under an internal/faults
+// injector and checks that the paper's guarantees survive the faults:
+//
+//   - the ring converges to exactly the equilibrium the fault-free serial
+//     solver finds (message loss must not freeze strategies into a
+//     non-Nash profile), and
+//   - settlement stays budget-balanced to the wei (Definition 5): the
+//     member balance deltas sum to zero even when submissions are
+//     retried through failing and response-dropping RPC links.
+//
+// The fault schedule is a pure function of the plan seed, so a failing
+// soak reproduces from its seed alone.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tradefl/internal/chain"
+	"tradefl/internal/dbr"
+	"tradefl/internal/faults"
+	"tradefl/internal/game"
+	"tradefl/internal/obs"
+	"tradefl/internal/randx"
+	"tradefl/internal/transport"
+)
+
+var chaosLog = obs.Component("chaos")
+
+// Options configures one chaos soak.
+type Options struct {
+	// Plan is the fault schedule; Plan.Seed drives every injection.
+	Plan faults.Plan
+	// Orgs is the number of organizations (default 4).
+	Orgs int
+	// GameSeed generates the Table II game instance and the chain accounts
+	// (default 7, the repo-wide reference seed).
+	GameSeed int64
+	// TokenTimeout is the ring's loss-detection timeout (default 200ms).
+	TokenTimeout time.Duration
+	// SuspectAfter is the ring's same-peer resend budget (default 8: a
+	// spurious crash suspicion then needs SuspectAfter+1 consecutive
+	// losses on one link, vanishingly unlikely at any sane drop rate).
+	SuspectAfter int
+	// SealInterval is the authority's block cadence (default 25ms).
+	SealInterval time.Duration
+	// SettleTimeout bounds the settlement phase (default 2m).
+	SettleTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Orgs <= 0 {
+		o.Orgs = 4
+	}
+	if o.GameSeed == 0 {
+		o.GameSeed = 7
+	}
+	if o.TokenTimeout <= 0 {
+		o.TokenTimeout = 200 * time.Millisecond
+	}
+	if o.SuspectAfter == 0 {
+		o.SuspectAfter = 8
+	}
+	if o.SealInterval <= 0 {
+		o.SealInterval = 25 * time.Millisecond
+	}
+	if o.SettleTimeout <= 0 {
+		o.SettleTimeout = 2 * time.Minute
+	}
+	return o
+}
+
+// Report is the outcome of a soak. Err() folds the acceptance checks.
+type Report struct {
+	Seed int64  `json:"seed"`
+	Orgs int    `json:"orgs"`
+	Plan string `json:"plan"`
+	// Profile is the equilibrium the chaotic ring agreed on.
+	Profile game.Profile `json:"profile"`
+	// ProfileMatches is true when the chaotic profile equals the
+	// fault-free dbr.Solve profile exactly.
+	ProfileMatches bool `json:"profileMatches"`
+	// PotentialGap is |U(chaotic) − U(fault-free)|.
+	PotentialGap float64 `json:"potentialGap"`
+	// IsNash is the deviation check on the chaotic profile.
+	IsNash bool `json:"isNash"`
+	// BudgetResidual is Σ_i (balance_after − balance_before) over the
+	// members; budget balance demands exactly 0 wei.
+	BudgetResidual chain.Wei `json:"budgetResidualWei"`
+	// Settled is the contract's final settled flag.
+	Settled bool `json:"settled"`
+	// ChainVerified is the result of the full chain re-validation.
+	ChainVerified bool `json:"chainVerified"`
+	// Faults counts what the injector actually did.
+	Faults faults.Counts `json:"faults"`
+	// RingElapsed and SettleElapsed are the two phases' wall times.
+	RingElapsed   time.Duration `json:"ringElapsed"`
+	SettleElapsed time.Duration `json:"settleElapsed"`
+}
+
+// Err returns nil when every acceptance check of the soak holds.
+func (r *Report) Err() error {
+	var bad []string
+	if !r.ProfileMatches {
+		bad = append(bad, fmt.Sprintf("ring equilibrium differs from fault-free solve (potential gap %g)", r.PotentialGap))
+	}
+	if !r.IsNash {
+		bad = append(bad, "ring profile is not a Nash equilibrium")
+	}
+	if r.BudgetResidual != 0 {
+		bad = append(bad, fmt.Sprintf("settlement not budget-balanced: residual %d wei", r.BudgetResidual))
+	}
+	if !r.Settled {
+		bad = append(bad, "contract did not reach settled state")
+	}
+	if !r.ChainVerified {
+		bad = append(bad, "chain re-validation failed")
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return errors.New("chaos: " + strings.Join(bad, "; "))
+}
+
+// String renders the report for terminal consumption.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos soak: %d orgs, plan %q\n", r.Orgs, r.Plan)
+	fmt.Fprintf(&b, "  ring:   converged in %v, matches fault-free NE: %v (potential gap %.3g), Nash: %v\n",
+		r.RingElapsed.Round(time.Millisecond), r.ProfileMatches, r.PotentialGap, r.IsNash)
+	fmt.Fprintf(&b, "  chain:  settled in %v: %v, budget residual %d wei, verified: %v\n",
+		r.SettleElapsed.Round(time.Millisecond), r.Settled, r.BudgetResidual, r.ChainVerified)
+	c := r.Faults
+	fmt.Fprintf(&b, "  faults: %d dropped, %d duplicated, %d delayed, %d partition/crash rejects, %d rpc failures, %d rpc responses lost, %d rpc delayed (total %d)\n",
+		c.Dropped, c.Duplicated, c.Delayed, c.Partitioned+c.CrashRejects, c.RPCFailures, c.RPCLost, c.RPCDelayed, c.Total())
+	if err := r.Err(); err != nil {
+		fmt.Fprintf(&b, "  RESULT: FAIL — %v\n", err)
+	} else {
+		fmt.Fprintf(&b, "  RESULT: ok\n")
+	}
+	return b.String()
+}
+
+// Run executes the soak: DBR ring over fault-injected TCP, then the full
+// settlement lifecycle through fault-injected RPC clients. The returned
+// error covers operational failures (setup, timeouts); acceptance breaches
+// live in Report.Err().
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	cfg, err := game.DefaultConfig(game.GenOptions{Seed: opts.GameSeed, N: opts.Orgs})
+	if err != nil {
+		return nil, err
+	}
+	inj, err := faults.NewInjector(opts.Plan)
+	if err != nil {
+		return nil, err
+	}
+	defer inj.Close()
+
+	rep := &Report{Seed: opts.Plan.Seed, Orgs: opts.Orgs, Plan: opts.Plan.String()}
+
+	// Phase 1: the token ring over faulty loopback TCP.
+	ringStart := time.Now()
+	profile, err := runRing(ctx, cfg, opts, inj)
+	if err != nil {
+		return nil, fmt.Errorf("chaos ring: %w", err)
+	}
+	rep.RingElapsed = time.Since(ringStart)
+	rep.Profile = profile
+
+	ref, err := dbr.Solve(cfg, nil, dbr.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rep.ProfileMatches = true
+	for i := range profile {
+		if profile[i] != ref.Profile[i] {
+			rep.ProfileMatches = false
+		}
+	}
+	rep.PotentialGap = math.Abs(cfg.Potential(profile) - cfg.Potential(ref.Profile))
+	rep.IsNash = cfg.CheckNash(profile, 60, 1e-2).IsNash
+
+	// Phase 2: settle the equilibrium contributions on-chain through
+	// faulty RPC links.
+	settleStart := time.Now()
+	if err := runSettlement(ctx, cfg, opts, inj, profile, rep); err != nil {
+		return nil, fmt.Errorf("chaos settlement: %w", err)
+	}
+	rep.SettleElapsed = time.Since(settleStart)
+	rep.Faults = inj.Counts()
+	return rep, nil
+}
+
+// runRing executes the distributed DBR protocol over injector-wrapped TCP
+// nodes and returns the agreed profile.
+func runRing(ctx context.Context, cfg *game.Config, opts Options, inj *faults.Injector) (game.Profile, error) {
+	n := cfg.N()
+	names := make([]string, n)
+	tcp := make([]*transport.TCPNode, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("org-%d", i)
+		node, err := transport.NewTCPNode(names[i], "127.0.0.1:0", n+4)
+		if err != nil {
+			return nil, err
+		}
+		tcp[i] = node
+	}
+	defer func() {
+		for _, node := range tcp {
+			_ = node.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			tcp[i].RegisterPeer(names[j], tcp[j].Addr())
+		}
+	}
+	nodes := make([]*dbr.Node, n)
+	for i := 0; i < n; i++ {
+		node, err := dbr.NewNode(cfg, i, inj.Wrap(tcp[i]), names, dbr.Options{
+			TokenTimeout: opts.TokenTimeout,
+			SuspectAfter: opts.SuspectAfter,
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = node
+	}
+	results := make([]game.Profile, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = nodes[i].Run(ctx)
+		}(i)
+	}
+	if err := nodes[0].Start(); err != nil {
+		return nil, err
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		for k := range results[i] {
+			if results[i][k] != results[0][k] {
+				return nil, fmt.Errorf("node %d disagrees with node 0 at org %d", i, k)
+			}
+		}
+	}
+	return results[0], nil
+}
+
+// runSettlement drives every member's Fig. 3 lifecycle concurrently
+// through fault-injected RPC clients against a live server, sealing on a
+// fixed cadence, and fills the settlement fields of rep.
+func runSettlement(ctx context.Context, cfg *game.Config, opts Options, inj *faults.Injector, profile game.Profile, rep *Report) error {
+	n := cfg.N()
+	src := randx.New(opts.GameSeed)
+	authority, err := chain.NewAccount(src)
+	if err != nil {
+		return err
+	}
+	accounts := make([]*chain.Account, n)
+	members := make([]chain.Address, n)
+	bits := make([]float64, n)
+	alloc := chain.GenesisAlloc{}
+	for i, o := range cfg.Orgs {
+		if accounts[i], err = chain.NewAccount(src); err != nil {
+			return err
+		}
+		members[i] = accounts[i].Address()
+		bits[i] = o.DataBits
+		alloc[members[i]] = 1_000_000_000
+	}
+	params := chain.ContractParams{
+		Members: members, Rho: cfg.Rho, DataBits: bits,
+		Gamma: cfg.Gamma, Lambda: cfg.Lambda,
+	}
+	bc, err := chain.NewBlockchain(authority, params, alloc)
+	if err != nil {
+		return err
+	}
+	srv, err := chain.NewServer(bc, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); _ = srv.Serve() }()
+	defer func() { _ = srv.Close(); <-serveDone }()
+
+	before := make([]chain.Wei, n)
+	for i, m := range members {
+		before[i] = bc.Balance(m)
+	}
+
+	// Authority seals on a fixed cadence until the members are done.
+	sealCtx, stopSealer := context.WithCancel(ctx)
+	defer stopSealer()
+	var sealerWG sync.WaitGroup
+	sealerWG.Add(1)
+	go func() {
+		defer sealerWG.Done()
+		tick := time.NewTicker(opts.SealInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sealCtx.Done():
+				return
+			case <-tick.C:
+				if _, err := bc.SealBlock(); err != nil {
+					chaosLog.Warn("seal failed", "err", err)
+				}
+			}
+		}
+	}()
+
+	settleCtx, cancel := context.WithTimeout(ctx, opts.SettleTimeout)
+	defer cancel()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := chain.NewClientOpts(srv.Addr(), chain.ClientOptions{
+				Timeout:     5 * time.Second,
+				MaxRetries:  10,
+				BaseBackoff: 5 * time.Millisecond,
+				MaxBackoff:  100 * time.Millisecond,
+				JitterSeed:  opts.Plan.Seed + int64(i) + 1,
+				Transport:   inj.RoundTripper(fmt.Sprintf("org-%d", i), nil),
+			})
+			errs[i] = settleMember(settleCtx, client, accounts[i], i, profile[i])
+		}(i)
+	}
+	wg.Wait()
+	stopSealer()
+	sealerWG.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("member %d: %w", i, err)
+		}
+	}
+	// Flush any stragglers the last tick missed (e.g. the final record).
+	if _, err := bc.SealBlock(); err != nil {
+		return err
+	}
+
+	var residual chain.Wei
+	for i, m := range members {
+		residual += bc.Balance(m) - before[i]
+	}
+	rep.BudgetResidual = residual
+	err = bc.ContractView(func(c *chain.Contract) error {
+		rep.Settled = c.Settled
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	rep.ChainVerified = bc.VerifyChain() == nil
+	return nil
+}
+
+// settleMember walks one organization's deposit → contribution →
+// calculate → transfer → record lifecycle through its (faulty) client,
+// tolerating every idempotency rejection a retried or racing phase
+// produces.
+func settleMember(ctx context.Context, client *chain.Client, acct *chain.Account, idx int, strat game.Strategy) error {
+	const poll = 10 * time.Millisecond
+	send := func(fn chain.Function, fnArgs any, value chain.Wei) error {
+		nonce, err := client.Nonce(acct.Address())
+		if err != nil {
+			return err
+		}
+		tx, err := chain.NewTransaction(acct, nonce, fn, fnArgs, value)
+		if err != nil {
+			return err
+		}
+		if err := client.SubmitTxCtx(ctx, tx); err != nil {
+			return err
+		}
+		hash, err := tx.Hash()
+		if err != nil {
+			return err
+		}
+		for {
+			rcpt, err := client.Receipt(hash)
+			if err == nil {
+				if !rcpt.OK {
+					return errors.New(rcpt.Error)
+				}
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("receipt for %s: %w", fn, ctx.Err())
+			case <-time.After(poll):
+			}
+		}
+	}
+	waitFor := func(phase string, ok func(chain.ContractStatus) bool) error {
+		for {
+			st, err := client.Status()
+			if err != nil {
+				return err
+			}
+			if ok(st) {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("waiting for %s: %w", phase, ctx.Err())
+			case <-time.After(poll):
+			}
+		}
+	}
+
+	var dep chain.Wei
+	if err := client.CallCtx(ctx, chain.MethodMinDeposit, map[string]any{"index": idx, "fMax": 5e9}, &dep); err != nil {
+		return err
+	}
+	if err := send(chain.FnDepositSubmit, nil, dep); err != nil && !isAlready(err) {
+		return fmt.Errorf("deposit: %w", err)
+	}
+	if err := waitFor("registrations", func(st chain.ContractStatus) bool {
+		return st.Registered == st.Members
+	}); err != nil {
+		return err
+	}
+	contrib := chain.Contribution{D: strat.D, F: strat.F}
+	if err := send(chain.FnContributionSubmit, contrib, 0); err != nil && !isAlready(err) {
+		return fmt.Errorf("submit: %w", err)
+	}
+	if err := waitFor("submissions", func(st chain.ContractStatus) bool {
+		return st.Submitted == st.Members
+	}); err != nil {
+		return err
+	}
+	if err := send(chain.FnPayoffCalculate, nil, 0); err != nil && !isAlready(err) {
+		return fmt.Errorf("calculate: %w", err)
+	}
+	if err := send(chain.FnPayoffTransfer, nil, 0); err != nil && !isAlready(err) {
+		return fmt.Errorf("transfer: %w", err)
+	}
+	if err := send(chain.FnProfileRecord, nil, 0); err != nil && !isAlready(err) {
+		return fmt.Errorf("record: %w", err)
+	}
+	return nil
+}
+
+// isAlready matches the idempotency rejections of a retried or racing
+// lifecycle phase (same contract semantics cmd/tradefl-org relies on).
+func isAlready(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, chain.ErrAlreadyRegistered) ||
+		errors.Is(err, chain.ErrAlreadySubmitted) ||
+		errors.Is(err, chain.ErrAlreadySettled) ||
+		strings.Contains(err.Error(), "already")
+}
+
+// ParseSpec parses a -chaos specification: comma-separated key=value
+// pairs. Fault keys (seed, drop, dup, delayp, delaymin, delaymax,
+// partition, crash, rpcfail, rpclost, rpcdelayp) go to the fault plan;
+// harness keys tune the soak itself:
+//
+//	orgs=N        ring/contract size
+//	game=SEED     game-instance and account seed
+//	token=DUR     ring token timeout
+//	suspect=N     same-peer resends before a crash suspicion
+//	seal=DUR      authority seal cadence
+//	settle=DUR    settlement deadline
+func ParseSpec(spec string) (Options, error) {
+	var opts Options
+	if strings.TrimSpace(spec) == "" {
+		return opts, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return opts, fmt.Errorf("chaos: %q is not key=value", field)
+		}
+		handled, err := faults.ApplyKey(&opts.Plan, key, val)
+		if err != nil {
+			return opts, err
+		}
+		if handled {
+			continue
+		}
+		switch key {
+		case "orgs":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 2 {
+				return opts, fmt.Errorf("chaos: orgs = %q (need an integer ≥ 2)", val)
+			}
+			opts.Orgs = n
+		case "game":
+			s, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return opts, fmt.Errorf("chaos: game = %q: %v", val, err)
+			}
+			opts.GameSeed = s
+		case "token":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return opts, fmt.Errorf("chaos: token = %q: %v", val, err)
+			}
+			opts.TokenTimeout = d
+		case "suspect":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return opts, fmt.Errorf("chaos: suspect = %q: %v", val, err)
+			}
+			opts.SuspectAfter = n
+		case "seal":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return opts, fmt.Errorf("chaos: seal = %q: %v", val, err)
+			}
+			opts.SealInterval = d
+		case "settle":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return opts, fmt.Errorf("chaos: settle = %q: %v", val, err)
+			}
+			opts.SettleTimeout = d
+		default:
+			return opts, fmt.Errorf("chaos: unknown key %q", key)
+		}
+	}
+	if err := opts.Plan.Validate(); err != nil {
+		return opts, err
+	}
+	return opts, nil
+}

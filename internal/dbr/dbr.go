@@ -40,6 +40,15 @@ type Options struct {
 	// re-forwards it, skipping unreachable peers. Zero disables recovery
 	// (used by the in-process engine, where peers cannot crash).
 	TokenTimeout time.Duration
+	// SuspectAfter is the number of times a token is re-sent to the SAME
+	// silent peer before the peer is suspected crashed and skipped
+	// (default 2). A timeout after a successful Send usually means the
+	// message was lost in flight, not that the peer died; resending to the
+	// same peer (idempotent via Seq dedup) keeps its strategy live instead
+	// of freezing it — skipping on the first timeout can terminate the ring
+	// at a non-equilibrium profile under message loss. Negative skips
+	// immediately on the first timeout (the pre-hardening behavior).
+	SuspectAfter int
 	// Workers bounds the goroutines that evaluate one organization's
 	// best-response candidates (its CPU levels) concurrently. Candidates
 	// within one scan are independent — organizations still update
@@ -58,6 +67,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DTol == 0 {
 		o.DTol = 1e-7
+	}
+	if o.SuspectAfter == 0 {
+		o.SuspectAfter = 2
+	} else if o.SuspectAfter < 0 {
+		o.SuspectAfter = 0
 	}
 	return o
 }

@@ -70,9 +70,12 @@ type Node struct {
 // sentToken records a forwarded token and the ring offset it reached.
 type sentToken struct {
 	tok TokenPayload
-	// step is the ring offset (from this node) of the peer that accepted
-	// the forward; resends start after it.
+	// step is the ring offset (from this node) of the peer the forward was
+	// addressed to; a crash-suspicion resend starts after it.
 	step int
+	// resends counts token timeouts answered by re-sending to the same
+	// peer; once it reaches Options.SuspectAfter the peer is skipped.
+	resends int
 }
 
 // NewNode creates the node for organization index, communicating over tr.
@@ -142,6 +145,7 @@ func (n *Node) Run(ctx context.Context) (game.Profile, error) {
 					return nil, fmt.Errorf("dbr node: bad token: %w", err)
 				}
 				if tok.Seq <= n.lastProcessedSeq {
+					mDupes.Inc()
 					continue // duplicate from a recovery resend
 				}
 				done, profile, err := n.handleToken(tok)
@@ -182,14 +186,40 @@ func (n *Node) handleToken(tok TokenPayload) (bool, game.Profile, error) {
 	return n.forwardToken(tok, 1)
 }
 
-// resendToken re-forwards the last sent token, starting after the peer the
-// previous attempt reached.
+// resendToken handles a token timeout. A timeout after a successful Send
+// is ambiguous: the frame may have been lost in flight (peer fine) or the
+// peer may have crashed after receiving it. The first SuspectAfter
+// timeouts re-send the identical token to the same peer — harmless if it
+// already arrived (Seq dedup) and exactly what is needed if it was lost.
+// Only after that many silent retries is the peer suspected crashed and
+// the token forwarded past it with its strategy frozen.
 func (n *Node) resendToken() (bool, game.Profile, error) {
 	sent := n.lastSent
 	if sent == nil {
 		return false, nil, nil
 	}
-	return n.forwardToken(sent.tok, sent.step+1)
+	target := (n.index + sent.step) % n.cfg.N()
+	if sent.resends < n.opts.SuspectAfter {
+		payload, err := json.Marshal(sent.tok)
+		if err != nil {
+			return false, nil, err
+		}
+		if err := n.tr.Send(n.peers[target], transport.Message{Type: MsgToken, Payload: payload}); err == nil {
+			sent.resends++
+			mResends.Inc()
+			dbrLog.Debug("token timeout, resending to same peer",
+				"node", n.tr.Name(), "peer", n.peers[target], "seq", sent.tok.Seq, "resend", sent.resends)
+			return false, nil, nil
+		}
+		// The resend itself failed: the peer is unreachable, not merely
+		// silent — skip it without burning the remaining retries.
+	}
+	mSkips.Inc()
+	dbrLog.Debug("suspecting peer crashed, skipping",
+		"node", n.tr.Name(), "peer", n.peers[target], "seq", sent.tok.Seq, "resends", sent.resends)
+	skip := sent.tok
+	skip.Unchanged++ // the skipped peer's strategy is frozen, i.e. unchanged
+	return n.forwardToken(skip, sent.step+1)
 }
 
 // forwardToken walks the ring starting at the given offset from this node,
@@ -221,6 +251,7 @@ func (n *Node) forwardToken(tok TokenPayload, fromStep int) (bool, game.Profile,
 		}
 		if err := n.tr.Send(n.peers[target], transport.Message{Type: MsgToken, Payload: payload}); err != nil {
 			// Peer unreachable: freeze its strategy and walk on.
+			mSkips.Inc()
 			tok.Unchanged++
 			continue
 		}

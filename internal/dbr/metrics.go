@@ -17,3 +17,14 @@ var (
 	mSweepSec   = obs.NewHistogram("tradefl_dbr_sweep_seconds", "wall time of one best-response sweep over all organizations", obs.TimeBuckets)
 	mSolveSec   = obs.NewHistogram("tradefl_dbr_solve_seconds", "end-to-end wall time of DBR runs", obs.TimeBuckets)
 )
+
+var dbrLog = obs.Component("dbr")
+
+// Ring fault-recovery telemetry: how often the token had to be re-sent to
+// the same peer (suspected message loss) versus forwarded past a peer
+// (suspected crash).
+var (
+	mResends = obs.NewCounter("tradefl_dbr_token_resends_total", "token resends to the same peer after a token timeout")
+	mSkips   = obs.NewCounter("tradefl_dbr_skipped_peers_total", "ring positions skipped as unreachable or crash-suspected")
+	mDupes   = obs.NewCounter("tradefl_dbr_duplicate_tokens_total", "received tokens discarded by sequence-number deduplication")
+)

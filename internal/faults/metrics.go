@@ -1,0 +1,19 @@
+package faults
+
+import "tradefl/internal/obs"
+
+var fLog = obs.Component("faults")
+
+// Telemetry of the fault fabric: every injected fault is counted, so a
+// chaos run's /metrics page separates injected loss from organic loss
+// (e.g. the transport's own parser drops).
+var (
+	mDropped      = obs.NewCounter("tradefl_faults_dropped_total", "transport messages dropped by injection")
+	mDuplicated   = obs.NewCounter("tradefl_faults_duplicated_total", "transport messages duplicated by injection")
+	mDelayed      = obs.NewCounter("tradefl_faults_delayed_total", "transport messages delayed by injection")
+	mPartitioned  = obs.NewCounter("tradefl_faults_partition_rejects_total", "sends rejected by a one-way partition")
+	mCrashRejects = obs.NewCounter("tradefl_faults_crash_rejects_total", "sends rejected because an endpoint was inside a crash window")
+	mRPCFailures  = obs.NewCounter("tradefl_faults_rpc_failures_total", "RPC round trips failed before reaching the server")
+	mRPCLost      = obs.NewCounter("tradefl_faults_rpc_lost_total", "RPC round trips whose response was dropped after execution")
+	mRPCDelayed   = obs.NewCounter("tradefl_faults_rpc_delayed_total", "RPC round trips delayed by injection")
+)

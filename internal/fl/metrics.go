@@ -14,6 +14,16 @@ var (
 	mRoundSec = obs.NewHistogram("tradefl_fl_round_seconds", "wall time of one federated round incl. evaluation", obs.TimeBuckets)
 )
 
+var flLog = obs.Component("fl")
+
+// Straggler-model telemetry (synchronous aggregator only): late updates,
+// rounds that lost every update, and the most recent arrival ratio.
+var (
+	mStragglers     = obs.NewCounter("tradefl_fl_stragglers_total", "local updates excluded for missing the round deadline")
+	mDegradedRounds = obs.NewCounter("tradefl_fl_degraded_rounds_total", "rounds in which no update met the deadline and the previous global model was kept")
+	mArrivalRatio   = obs.NewGauge("tradefl_fl_round_arrival_ratio", "fraction of contributing organizations whose update met the most recent round's deadline")
+)
+
 // publishHistory mirrors a run's per-round history into the round gauges
 // and the /runz trajectories.
 func publishHistory(history []RoundMetrics) {

@@ -1,0 +1,140 @@
+package fl
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestStragglerExcludedAndRenormalized: one organization's round time sits
+// past the deadline every round; its update must never enter the aggregate
+// and the run must still train to a useful model on the remaining data.
+func TestStragglerExcludedAndRenormalized(t *testing.T) {
+	cfg := fixture(t, "fmnist", []int{200, 200, 200})
+	cfg.RoundTimes = []float64{1, 1, 10}
+	cfg.StragglerDeadline = 2 // org 2 is always late; no jitter
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cfg.Rounds; res.Stragglers != want {
+		t.Errorf("Stragglers = %d, want %d (org 2 late every round)", res.Stragglers, want)
+	}
+	if res.DegradedRounds != 0 {
+		t.Errorf("DegradedRounds = %d, want 0", res.DegradedRounds)
+	}
+	for _, h := range res.History {
+		if h.Arrived != 2 {
+			t.Errorf("round %d: Arrived = %d, want 2", h.Round, h.Arrived)
+		}
+		if h.Degraded {
+			t.Errorf("round %d marked degraded", h.Round)
+		}
+	}
+	if res.FinalAccuracy < 0.3 {
+		t.Errorf("final accuracy %v too low with one straggler excluded", res.FinalAccuracy)
+	}
+	// With org 2 excluded, the run is exactly a 2-org run over the same
+	// seed and data: FedAvg renormalization over arrivals must reproduce it.
+	two := fixture(t, "fmnist", []int{200, 200, 200})
+	two.Fractions[2] = 0 // same shards, org 2 contributes nothing
+	ref, err := Run(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(res.FinalLoss - ref.FinalLoss); d > 1e-9 {
+		t.Errorf("straggler-excluded run diverged from 2-org reference: loss gap %v", d)
+	}
+}
+
+// TestAllStragglersDegradesGracefully: when no update ever meets the
+// deadline the run keeps the initial global model round after round
+// instead of failing.
+func TestAllStragglersDegradesGracefully(t *testing.T) {
+	cfg := fixture(t, "fmnist", []int{100, 100})
+	cfg.Rounds = 3
+	cfg.RoundTimes = []float64{5, 7}
+	cfg.StragglerDeadline = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradedRounds != cfg.Rounds {
+		t.Errorf("DegradedRounds = %d, want %d", res.DegradedRounds, cfg.Rounds)
+	}
+	if res.Stragglers != cfg.Rounds*2 {
+		t.Errorf("Stragglers = %d, want %d", res.Stragglers, cfg.Rounds*2)
+	}
+	for _, h := range res.History {
+		if !h.Degraded || h.Arrived != 0 {
+			t.Errorf("round %d: Degraded=%v Arrived=%d, want degraded with 0 arrivals", h.Round, h.Degraded, h.Arrived)
+		}
+	}
+	// The model never moved: every round evaluates identically.
+	for _, h := range res.History[1:] {
+		if h.Loss != res.History[0].Loss {
+			t.Errorf("round %d loss %v differs from round 1 %v despite no updates", h.Round, h.Loss, res.History[0].Loss)
+		}
+	}
+}
+
+// TestStragglerScheduleDeterministic: equal seeds produce identical
+// straggler schedules and losses; a different seed reshuffles the jitter.
+func TestStragglerScheduleDeterministic(t *testing.T) {
+	mk := func(seed int64) Config {
+		cfg := fixture(t, "fmnist", []int{150, 150, 150})
+		cfg.Rounds = 4
+		cfg.Seed = seed
+		cfg.RoundTimes = []float64{1, 1.9, 2.1}
+		cfg.StragglerDeadline = 2
+		cfg.StragglerJitter = 0.3
+		return cfg
+	}
+	a, err := Run(mk(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mk(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stragglers == 0 {
+		t.Error("jittered borderline schedule produced no stragglers")
+	}
+	if a.Stragglers != b.Stragglers || a.FinalLoss != b.FinalLoss {
+		t.Errorf("same seed diverged: stragglers %d/%d, loss %v/%v",
+			a.Stragglers, b.Stragglers, a.FinalLoss, b.FinalLoss)
+	}
+	for i := range a.History {
+		if a.History[i].Arrived != b.History[i].Arrived {
+			t.Errorf("round %d arrivals differ across identical seeds", i+1)
+		}
+	}
+}
+
+// TestStragglerConfigValidation covers the new validation paths.
+func TestStragglerConfigValidation(t *testing.T) {
+	base := fixture(t, "fmnist", []int{50, 50})
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"negative deadline", func(c *Config) { c.StragglerDeadline = -1 }, "must not be negative"},
+		{"missing round times", func(c *Config) { c.StragglerDeadline = 1 }, "round times"},
+		{"bad round time", func(c *Config) { c.StragglerDeadline = 1; c.RoundTimes = []float64{1, 0} }, "must be positive"},
+		{"bad jitter", func(c *Config) {
+			c.StragglerDeadline = 1
+			c.RoundTimes = []float64{1, 1}
+			c.StragglerJitter = 1.5
+		}, "jitter"},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		_, err := Run(cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}

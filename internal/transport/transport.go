@@ -103,14 +103,23 @@ func (e *hubEndpoint) Send(to string, msg Message) error {
 	return nil
 }
 
-// deliver enqueues msg unless the peer has closed.
+// deliver enqueues msg unless the peer has closed. The send is
+// non-blocking while the lock is held: a blocking send here would wedge
+// the sender inside the peer's lock as soon as the inbox filled, and any
+// later Close() would deadlock behind it. A full inbox drops instead,
+// mirroring the TCP path; ring protocols resend on timeout.
 func (e *hubEndpoint) deliver(msg Message) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return
 	}
-	e.inbox <- msg
+	select {
+	case e.inbox <- msg:
+	default:
+		mHubDropped.Inc()
+		tLog.Debug("hub inbox full, dropping", "to", e.name, "from", msg.From, "type", msg.Type)
+	}
 }
 
 func (e *hubEndpoint) Receive() <-chan Message { return e.inbox }
@@ -140,9 +149,20 @@ type TCPNode struct {
 	peers  map[string]string
 	closed bool
 	wg     sync.WaitGroup
+
+	// Send retry policy; see SetSendRetryPolicy.
+	sendAttempts int
+	sendBackoff  time.Duration
 }
 
 var _ Transport = (*TCPNode)(nil)
+
+// Default send retry policy: a failed dial or write is retried twice more
+// with a short linear backoff before Send reports the peer unreachable.
+const (
+	DefaultSendAttempts = 3
+	DefaultSendBackoff  = 25 * time.Millisecond
+)
 
 // NewTCPNode listens on addr ("127.0.0.1:0" for an ephemeral port).
 func NewTCPNode(name, addr string, buffer int) (*TCPNode, error) {
@@ -154,14 +174,33 @@ func NewTCPNode(name, addr string, buffer int) (*TCPNode, error) {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	n := &TCPNode{
-		name:  name,
-		ln:    ln,
-		inbox: make(chan Message, buffer),
-		peers: make(map[string]string),
+		name:         name,
+		ln:           ln,
+		inbox:        make(chan Message, buffer),
+		peers:        make(map[string]string),
+		sendAttempts: DefaultSendAttempts,
+		sendBackoff:  DefaultSendBackoff,
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
+}
+
+// SetSendRetryPolicy bounds Send's dial/write retries: attempts total
+// tries (minimum 1) separated by backoff×attempt. A restarting peer
+// (crash + re-listen on the same address) is reached again without the
+// caller seeing a transient refusal.
+func (n *TCPNode) SetSendRetryPolicy(attempts int, backoff time.Duration) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if backoff < 0 {
+		backoff = 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sendAttempts = attempts
+	n.sendBackoff = backoff
 }
 
 // Addr returns the node's listen address for peer registration.
@@ -194,7 +233,11 @@ func (n *TCPNode) readConn(conn net.Conn) {
 	for scanner.Scan() {
 		var msg Message
 		if err := json.Unmarshal(scanner.Bytes(), &msg); err != nil {
-			continue // drop malformed frames
+			// Malformed frame (torn write, garbage peer): account for it
+			// so chaos runs can tell parser loss from injected loss.
+			mFrameMalform.Inc()
+			tLog.Debug("dropping malformed frame", "node", n.name, "bytes", len(scanner.Bytes()), "err", err)
+			continue
 		}
 		n.mu.Lock()
 		closed := n.closed
@@ -207,14 +250,30 @@ func (n *TCPNode) readConn(conn net.Conn) {
 		default:
 			// Inbox full: drop rather than deadlock the reader; the DBR
 			// protocol is token-based and resends on timeout.
+			mInboxDropped.Inc()
+			tLog.Debug("inbox full, dropping frame", "node", n.name, "from", msg.From, "type", msg.Type)
 		}
+	}
+	if err := scanner.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// A frame larger than the scanner buffer kills the connection;
+			// the rest of that connection's stream is lost with it.
+			mFrameOverrun.Inc()
+			tLog.Debug("dropping connection on oversized frame", "node", n.name, "err", err)
+			return
+		}
+		tLog.Debug("connection read error", "node", n.name, "err", err)
 	}
 }
 
 func (n *TCPNode) Name() string { return n.name }
 
 // Send dials the peer and writes one frame. Dial-per-message keeps the
-// implementation simple and robust for the protocol's low message rate.
+// implementation simple and robust for the protocol's low message rate:
+// a torn write only poisons its own connection, never a shared stream.
+// Transient dial/write failures (peer restarting, kernel backlog full)
+// are retried per the node's retry policy before the peer is reported
+// unreachable.
 func (n *TCPNode) Send(to string, msg Message) error {
 	n.mu.Lock()
 	if n.closed {
@@ -222,6 +281,7 @@ func (n *TCPNode) Send(to string, msg Message) error {
 		return ErrClosed
 	}
 	addr, ok := n.peers[to]
+	attempts, backoff := n.sendAttempts, n.sendBackoff
 	n.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
@@ -231,6 +291,30 @@ func (n *TCPNode) Send(to string, msg Message) error {
 	if err != nil {
 		return fmt.Errorf("transport: marshal: %w", err)
 	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			mSendRetries.Inc()
+			tLog.Debug("retrying send", "node", n.name, "to", to, "attempt", attempt+1, "err", lastErr)
+			time.Sleep(backoff * time.Duration(attempt))
+			// The node may have closed while we were backing off.
+			n.mu.Lock()
+			closed := n.closed
+			n.mu.Unlock()
+			if closed {
+				return ErrClosed
+			}
+		}
+		if lastErr = n.writeFrame(addr, to, raw); lastErr == nil {
+			return nil
+		}
+	}
+	mSendFailures.Inc()
+	return lastErr
+}
+
+// writeFrame performs one dial + write attempt.
+func (n *TCPNode) writeFrame(addr, to string, raw []byte) error {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return fmt.Errorf("transport: dial %s: %w", to, err)

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Seeded chaos soak: runs the DBR token ring over a fault-injected TCP
+# transport and the on-chain settlement over a fault-injected RPC path,
+# then asserts the run converged to the fault-free Nash equilibrium and
+# the contract stayed budget-balanced to the wei.
+#
+# The fault schedule is a pure function of the seed, so a failing run is
+# reproduced exactly by re-running with the same spec.
+#
+# Usage:
+#   scripts/chaos.sh                 default soak (seed 7, combined faults)
+#   scripts/chaos.sh "seed=42,drop=0.3,rpclost=0.1"
+#   CHAOS_SEEDS="7 42 1337" scripts/chaos.sh   sweep several seeds
+#
+# Spec keys: seed drop dup delayp delaymin delaymax partition crash
+#            rpcfail rpclost rpcdelayp orgs game token suspect seal settle
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DEFAULT_SPEC="drop=0.15,dup=0.05,delayp=0.1,delaymax=15ms,rpcfail=0.1,rpclost=0.05,orgs=3,game=5"
+
+BIN="$(mktemp -d)/tradefl-sim"
+go build -race -o "$BIN" ./cmd/tradefl-sim
+
+if [[ $# -ge 1 ]]; then
+  echo "==> chaos soak: $1"
+  "$BIN" -chaos "$1"
+else
+  for seed in ${CHAOS_SEEDS:-7}; do
+    spec="seed=$seed,$DEFAULT_SPEC"
+    echo "==> chaos soak: $spec"
+    "$BIN" -chaos "$spec"
+  done
+fi
+
+echo "==> chaos OK"

@@ -51,6 +51,13 @@ kill "$SIM_PID" 2>/dev/null || true
 wait "$SIM_PID" 2>/dev/null || true
 trap - EXIT
 
+echo "==> chaos smoke (seeded soak under -race)"
+# Fault schedule is a pure function of the seed: a failure here reproduces
+# exactly via `scripts/chaos.sh "<spec>"`. The soak fails the gate if the
+# ring misses the fault-free Nash equilibrium or the settlement contract
+# leaks a single wei.
+scripts/chaos.sh "seed=${CHAOS_SEED:-7},drop=0.15,dup=0.05,delayp=0.1,delaymax=15ms,rpcfail=0.1,rpclost=0.05,orgs=3,game=5"
+
 echo "==> bench regression smoke"
 sleep "${BENCH_SETTLE_SECS:-15}" # let CPU contention from the race suite drain
 BENCH_TIME="${BENCH_TIME:-100ms}" BENCH_COUNT="${BENCH_COUNT:-4}" scripts/bench.sh >/dev/null
