@@ -31,6 +31,7 @@ import (
 // benchFigure runs one experiment generator per iteration.
 func benchFigure(b *testing.B, id string) *experiments.Figure {
 	b.Helper()
+	b.ReportAllocs()
 	var fig *experiments.Figure
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -146,6 +147,7 @@ func BenchmarkAblation_MasterSolvers(b *testing.B) {
 	} {
 		for _, workers := range benchWorkerCounts() {
 			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
 				cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, NoOrgName: true})
 				if err != nil {
 					b.Fatal(err)
@@ -153,6 +155,39 @@ func BenchmarkAblation_MasterSolvers(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := gbd.Solve(cfg, gbd.Options{Master: tc.master, Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	// N=16 incremental A/B: the tentpole's target scale. The exhaustive
+	// traversal uses a 2-level grid (2^16 points per master solve; 3^16 is
+	// out of reach for any mode), the pruned master the default 3 levels.
+	for _, tc := range []struct {
+		name     string
+		master   gbd.MasterSolver
+		cpuSteps int
+	}{
+		{"traversal", gbd.MasterTraversal, 2},
+		{"pruned", gbd.MasterPruned, 3},
+	} {
+		for _, mode := range []struct {
+			name string
+			inc  game.Toggle
+		}{
+			{"on", game.ToggleOn},
+			{"off", game.ToggleOff},
+		} {
+			b.Run(fmt.Sprintf("%s/N=16/incremental=%s", tc.name, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, N: 16, CPUSteps: tc.cpuSteps, NoOrgName: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := gbd.Solve(cfg, gbd.Options{Master: tc.master, Workers: 1, Incremental: mode.inc}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -187,6 +222,7 @@ func BenchmarkAblation_AccuracyModels(b *testing.B) {
 	}
 	for name, mk := range models {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			model, err := mk()
 			if err != nil {
 				b.Fatal(err)
@@ -221,6 +257,7 @@ func BenchmarkAblation_Solvers(b *testing.B) {
 		{"distributed-dbr", core.SolverDistributedDBR},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, NoOrgName: true})
 			if err != nil {
 				b.Fatal(err)
@@ -243,6 +280,7 @@ func BenchmarkAblation_Solvers(b *testing.B) {
 // --- Micro benches on hot paths -----------------------------------------
 
 func BenchmarkPayoffs(b *testing.B) {
+	b.ReportAllocs()
 	cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, NoOrgName: true})
 	if err != nil {
 		b.Fatal(err)
@@ -257,6 +295,7 @@ func BenchmarkPayoffs(b *testing.B) {
 func BenchmarkBestResponse(b *testing.B) {
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, NoOrgName: true})
 			if err != nil {
 				b.Fatal(err)
@@ -270,9 +309,40 @@ func BenchmarkBestResponse(b *testing.B) {
 			}
 		})
 	}
+	// N=16 incremental A/B: the pooled engine's O(N) deltas against the
+	// naive O(N²) reference scan on the identical (byte-for-byte) problem.
+	for _, mode := range []string{"on", "off"} {
+		b.Run(fmt.Sprintf("N=16/incremental=%s", mode), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, N: 16, NoOrgName: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := cfg.MinimalProfile()
+			scan := func(i int) bool {
+				_, _, ok := dbr.BestResponseNaive(cfg, p, i, 1e-7, 1)
+				return ok
+			}
+			if mode == "on" {
+				eng := dbr.NewEngine(cfg)
+				eng.Bind(p)
+				scan = func(i int) bool {
+					_, _, ok := eng.BestResponse(i, 1e-7, 1)
+					return ok
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !scan(i % cfg.N()) {
+					b.Fatal("no feasible response")
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkSettlement(b *testing.B) {
+	b.ReportAllocs()
 	cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, NoOrgName: true})
 	if err != nil {
 		b.Fatal(err)
@@ -310,6 +380,7 @@ func BenchmarkSchemes(b *testing.B) {
 	}
 	for name, run := range runs {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if err := run(); err != nil {
 					b.Fatal(err)
@@ -341,6 +412,7 @@ func BenchmarkAblation_NonIID(b *testing.B) {
 		{"dirichlet-1.0", 1.0},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var acc float64
 			for i := 0; i < b.N; i++ {
 				gen, err := dataset.NewGenerator(spec, 7)
@@ -394,6 +466,7 @@ func BenchmarkAblation_DataQuality(b *testing.B) {
 		}},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, NoOrgName: true})
 			if err != nil {
 				b.Fatal(err)
@@ -428,6 +501,7 @@ func BenchmarkAblation_DataQuality(b *testing.B) {
 // BenchmarkChainSettlementThroughput measures sealed transactions per
 // second through a full deposit block.
 func BenchmarkChainTxThroughput(b *testing.B) {
+	b.ReportAllocs()
 	src := randx.New(1)
 	authority, err := chain.NewAccount(src)
 	if err != nil {
@@ -479,6 +553,7 @@ func BenchmarkTensorMatMul(b *testing.B) {
 	for _, size := range []int{64, 256} {
 		for _, workers := range benchWorkerCounts() {
 			b.Run(fmt.Sprintf("n=%d/workers=%d", size, workers), func(b *testing.B) {
+				b.ReportAllocs()
 				defer tensor.SetWorkers(0)
 				tensor.SetWorkers(workers)
 				src := randx.New(2)
@@ -501,6 +576,7 @@ func BenchmarkTensorMatMul(b *testing.B) {
 // BenchmarkPotential measures the potential evaluation on the hot path of
 // both solvers.
 func BenchmarkPotential(b *testing.B) {
+	b.ReportAllocs()
 	cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, NoOrgName: true})
 	if err != nil {
 		b.Fatal(err)
@@ -514,6 +590,7 @@ func BenchmarkPotential(b *testing.B) {
 
 // BenchmarkTuneGamma measures the automated γ* search.
 func BenchmarkTuneGamma(b *testing.B) {
+	b.ReportAllocs()
 	cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, NoOrgName: true})
 	if err != nil {
 		b.Fatal(err)
@@ -540,6 +617,7 @@ func BenchmarkTuneGamma(b *testing.B) {
 func BenchmarkScaling_DBR(b *testing.B) {
 	for _, n := range []int{5, 10, 20, 40} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, N: n, NoOrgName: true})
 			if err != nil {
 				b.Fatal(err)

@@ -52,10 +52,14 @@ func run(args []string) error {
 		fund   = fs.Int64("fund", 1_000_000_000, "genesis balance per member (wei)")
 		store  = fs.String("store", "", "persist the chain to this file (reloaded if present)")
 		chaos  = fs.String("chaos", "", "inject server-side RPC faults, e.g. \"seed=7,rpcfail=0.1,rpcdelayp=0.2\"")
+		incr   = fs.String("incremental", "on", "incremental evaluation engine: on|off (A/B; outputs are byte-identical)")
 
 		obsFlags = obs.RegisterFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := game.ApplyIncrementalFlag(*incr); err != nil {
 		return err
 	}
 	diag, err := obsFlags.Apply()

@@ -51,6 +51,7 @@ func run(args []string) error {
 		retries  = fs.Int("send-retries", transport.DefaultSendAttempts, "TCP send attempts before a peer counts as unreachable")
 		backoff  = fs.Duration("send-backoff", transport.DefaultSendBackoff, "base backoff between TCP send attempts")
 		workers  = fs.Int("workers", 0, "best-response worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		incr     = fs.String("incremental", "on", "incremental evaluation engine: on|off (A/B; outputs are byte-identical)")
 		obsFlags = obs.RegisterFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +65,9 @@ func run(args []string) error {
 		defer diag.Close()
 	}
 	parallel.SetDefault(*workers)
+	if err := game.ApplyIncrementalFlag(*incr); err != nil {
+		return err
+	}
 	cfg, err := game.DefaultConfig(game.GenOptions{Seed: *seed})
 	if err != nil {
 		return err

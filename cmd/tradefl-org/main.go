@@ -50,6 +50,7 @@ func run(args []string) error {
 		poll    = fs.Duration("poll", 500*time.Millisecond, "status poll interval")
 		timeout = fs.Duration("timeout", 2*time.Minute, "settlement deadline")
 		workers = fs.Int("workers", 0, "best-response worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		incr    = fs.String("incremental", "on", "incremental evaluation engine: on|off (A/B; outputs are byte-identical)")
 
 		rpcTimeout = fs.Duration("rpc-timeout", 10*time.Second, "per-RPC-attempt deadline")
 		rpcRetries = fs.Int("rpc-retries", 3, "RPC retries after a transport failure (negative disables)")
@@ -67,6 +68,9 @@ func run(args []string) error {
 		defer diag.Close()
 	}
 	parallel.SetDefault(*workers)
+	if err := game.ApplyIncrementalFlag(*incr); err != nil {
+		return err
+	}
 	cfg, err := game.DefaultConfig(game.GenOptions{Seed: *seed})
 	if err != nil {
 		return err

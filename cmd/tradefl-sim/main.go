@@ -22,6 +22,7 @@ import (
 
 	"tradefl/internal/chaos"
 	"tradefl/internal/experiments"
+	"tradefl/internal/game"
 	"tradefl/internal/obs"
 	"tradefl/internal/parallel"
 )
@@ -45,6 +46,7 @@ func run(args []string) error {
 		out      = fs.String("out", "", "directory for CSV files (default stdout)")
 		plot     = fs.Bool("plot", false, "render terminal charts instead of CSV")
 		workers  = fs.Int("workers", 0, "solver/kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		incr     = fs.String("incremental", "on", "incremental evaluation engine: on|off (A/B; outputs are byte-identical)")
 		summary  = fs.String("summary", "text", "end-of-run solver summary: text|json|none")
 		diagHold = fs.Duration("diag-hold", 0, "keep the diagnostics server alive this long after the run (requires -diag-addr)")
 		obsFlags = obs.RegisterFlags(fs)
@@ -65,6 +67,9 @@ func run(args []string) error {
 		defer diag.Close()
 	}
 	parallel.SetDefault(*workers)
+	if err := game.ApplyIncrementalFlag(*incr); err != nil {
+		return err
+	}
 	if *chaosRun != "" {
 		copts, err := chaos.ParseSpec(*chaosRun)
 		if err != nil {

@@ -1,0 +1,121 @@
+// Package arena provides sync.Pool-backed scratch storage for the solver
+// and kernel hot paths. Slices are pooled in power-of-two size classes, so
+// steady-state workloads that acquire and release same-shaped scratch every
+// iteration (best-response scans, SGD mini-batch steps, water-fill solves)
+// reach a fixed point where no allocation ever hits the garbage collector.
+//
+// Pooled memory carries no identity: Floats returns storage with
+// unspecified contents, and every consumer in this repository fully
+// initializes its scratch before reading it — which is also why pooling
+// cannot perturb numerical results.
+package arena
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// maxClass bounds the pooled size classes: slices above 2^maxClass floats
+// (32 MiB) are allocated directly and dropped on Put — one-off giants would
+// otherwise pin large blocks in the pool forever.
+const maxClass = 22
+
+// floatPools[c] holds *[]float64 with capacity exactly 1<<c. Pointers are
+// pooled (not slices) so no interface boxing of slice headers occurs, and
+// the empty boxes themselves recycle through floatBoxes — a steady-state
+// Floats/PutFloats cycle performs zero allocations.
+var (
+	floatPools [maxClass + 1]sync.Pool
+	floatBoxes sync.Pool
+)
+
+// sizeClass returns the smallest class c with 1<<c ≥ n, or maxClass+1 when
+// n is out of pooled range.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	c := bits.Len(uint(n - 1))
+	if c > maxClass {
+		return maxClass + 1
+	}
+	return c
+}
+
+// Floats returns a slice of length n with unspecified contents. The caller
+// must fully initialize it before reading and should return it with
+// PutFloats when done.
+func Floats(n int) []float64 {
+	c := sizeClass(n)
+	if c > maxClass {
+		return make([]float64, n)
+	}
+	if p, _ := floatPools[c].Get().(*[]float64); p != nil {
+		s := *p
+		*p = nil
+		floatBoxes.Put(p)
+		return s[:n]
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// FloatsZeroed returns a slice of length n with every element zero.
+func FloatsZeroed(n int) []float64 {
+	s := Floats(n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// PutFloats returns a slice obtained from Floats to the pool. The caller
+// must not use s afterwards. Slices of unpooled capacity (not a power of
+// two ≤ 2^22, e.g. not from Floats) are dropped silently, so PutFloats is
+// safe on any slice.
+func PutFloats(s []float64) {
+	c := sizeClass(cap(s))
+	if cap(s) == 0 || c > maxClass || cap(s) != 1<<c {
+		return
+	}
+	p, _ := floatBoxes.Get().(*[]float64)
+	if p == nil {
+		p = new([]float64)
+	}
+	*p = s[:0]
+	floatPools[c].Put(p)
+}
+
+// intPools mirrors floatPools for []int scratch (sort orders, index maps).
+var (
+	intPools [maxClass + 1]sync.Pool
+	intBoxes sync.Pool
+)
+
+// Ints returns an int slice of length n with unspecified contents.
+func Ints(n int) []int {
+	c := sizeClass(n)
+	if c > maxClass {
+		return make([]int, n)
+	}
+	if p, _ := intPools[c].Get().(*[]int); p != nil {
+		s := *p
+		*p = nil
+		intBoxes.Put(p)
+		return s[:n]
+	}
+	return make([]int, n, 1<<c)
+}
+
+// PutInts returns a slice obtained from Ints to the pool.
+func PutInts(s []int) {
+	c := sizeClass(cap(s))
+	if cap(s) == 0 || c > maxClass || cap(s) != 1<<c {
+		return
+	}
+	p, _ := intBoxes.Get().(*[]int)
+	if p == nil {
+		p = new([]int)
+	}
+	*p = s[:0]
+	intPools[c].Put(p)
+}

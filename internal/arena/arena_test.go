@@ -1,0 +1,64 @@
+package arena
+
+import "testing"
+
+func TestSizeClasses(t *testing.T) {
+	for _, tt := range []struct{ n, wantCap int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {64, 64}, {65, 128}, {1 << maxClass, 1 << maxClass},
+	} {
+		s := Floats(tt.n)
+		if len(s) != tt.n || cap(s) != tt.wantCap {
+			t.Errorf("Floats(%d): len=%d cap=%d, want len=%d cap=%d", tt.n, len(s), cap(s), tt.n, tt.wantCap)
+		}
+		PutFloats(s)
+	}
+}
+
+func TestOversizedFallsThrough(t *testing.T) {
+	n := (1 << maxClass) + 1
+	s := Floats(n)
+	if len(s) != n {
+		t.Fatalf("len=%d, want %d", len(s), n)
+	}
+	PutFloats(s) // dropped, must not panic
+}
+
+func TestPutForeignSliceIsSafe(t *testing.T) {
+	PutFloats(nil)
+	PutFloats(make([]float64, 3)) // cap 3 is no pooled class: dropped
+	PutInts(nil)
+	PutInts(make([]int, 5))
+}
+
+func TestFloatsZeroed(t *testing.T) {
+	s := Floats(16)
+	for i := range s {
+		s[i] = 42
+	}
+	PutFloats(s)
+	z := FloatsZeroed(16)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("z[%d] = %v after recycle, want 0", i, v)
+		}
+	}
+	PutFloats(z)
+}
+
+func TestReuseIsAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool allocates under the race detector")
+	}
+	// Prime the pools, then assert a steady-state acquire/release cycle of a
+	// stable shape allocates nothing.
+	PutFloats(Floats(100))
+	PutInts(Ints(100))
+	if allocs := testing.AllocsPerRun(100, func() {
+		f := Floats(100)
+		i := Ints(100)
+		PutInts(i)
+		PutFloats(f)
+	}); allocs != 0 {
+		t.Errorf("steady-state arena cycle allocates %v/op, want 0", allocs)
+	}
+}

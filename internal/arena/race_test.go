@@ -1,0 +1,7 @@
+//go:build race
+
+package arena
+
+// raceEnabled lets allocation-count tests skip under the race detector,
+// whose sync.Pool instrumentation allocates on Get/Put.
+const raceEnabled = true

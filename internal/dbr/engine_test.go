@@ -1,0 +1,184 @@
+package dbr
+
+import (
+	"math"
+	"testing"
+
+	"tradefl/internal/game"
+)
+
+// engineGames yields instances across sizes and both model variants so the
+// equivalence tests cover every payoff expression form.
+func engineGames(t *testing.T) []*game.Config {
+	t.Helper()
+	var cfgs []*game.Config
+	for _, gen := range []game.GenOptions{
+		{Seed: 1},
+		{Seed: 7, N: 4},
+		{Seed: 11, N: 16, Mu: 0.9},
+	} {
+		cfg, err := game.DefaultConfig(gen)
+		if err != nil {
+			t.Fatalf("DefaultConfig(%+v): %v", gen, err)
+		}
+		cfgs = append(cfgs, cfg)
+		pers, err := game.DefaultConfig(gen)
+		if err != nil {
+			t.Fatalf("DefaultConfig(%+v): %v", gen, err)
+		}
+		pers.Personal = game.Personalization{Alpha: 0.3, LocalBoost: 1.5}
+		cfgs = append(cfgs, pers)
+	}
+	return cfgs
+}
+
+// TestEngineBestResponseMatchesNaive compares the incremental engine scan
+// against the naive oracle on identical profiles: strategy, value and the
+// feasibility flag must agree bit-for-bit at every worker count.
+func TestEngineBestResponseMatchesNaive(t *testing.T) {
+	for _, cfg := range engineGames(t) {
+		p := cfg.MinimalProfile()
+		eng := NewEngine(cfg)
+		eng.Bind(p)
+		for _, workers := range []int{1, 2, 4} {
+			for i := 0; i < cfg.N(); i++ {
+				ns, nv, nok := BestResponseNaive(cfg, p, i, 1e-7, workers)
+				es, ev, eok := eng.BestResponse(i, 1e-7, workers)
+				if nok != eok || ns != es || math.Float64bits(nv) != math.Float64bits(ev) {
+					t.Fatalf("org %d workers %d: engine (%+v, %x, %v) != naive (%+v, %x, %v)",
+						i, workers, es, math.Float64bits(ev), eok, ns, math.Float64bits(nv), nok)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveIncrementalEquivalence is the end-to-end A/B: Solve with the
+// engine on and off must return bitwise-identical profiles, payoff traces
+// and potential traces — the -incremental flag changes speed, not results.
+func TestSolveIncrementalEquivalence(t *testing.T) {
+	for _, cfg := range engineGames(t) {
+		on, err := Solve(cfg, nil, Options{Incremental: game.ToggleOn})
+		if err != nil {
+			t.Fatalf("Solve(on): %v", err)
+		}
+		off, err := Solve(cfg, nil, Options{Incremental: game.ToggleOff})
+		if err != nil {
+			t.Fatalf("Solve(off): %v", err)
+		}
+		if on.Rounds != off.Rounds || on.Converged != off.Converged {
+			t.Fatalf("control flow diverged: on=(%d,%v) off=(%d,%v)", on.Rounds, on.Converged, off.Rounds, off.Converged)
+		}
+		for i := range on.Profile {
+			if on.Profile[i] != off.Profile[i] {
+				t.Fatalf("profile[%d] diverged: on=%+v off=%+v", i, on.Profile[i], off.Profile[i])
+			}
+		}
+		if len(on.PotentialTrace) != len(off.PotentialTrace) {
+			t.Fatalf("potential trace length diverged: %d vs %d", len(on.PotentialTrace), len(off.PotentialTrace))
+		}
+		for tIdx := range on.PotentialTrace {
+			if math.Float64bits(on.PotentialTrace[tIdx]) != math.Float64bits(off.PotentialTrace[tIdx]) {
+				t.Fatalf("potential trace[%d] diverged: %x vs %x", tIdx,
+					math.Float64bits(on.PotentialTrace[tIdx]), math.Float64bits(off.PotentialTrace[tIdx]))
+			}
+			for i := range on.PayoffTrace[tIdx] {
+				if math.Float64bits(on.PayoffTrace[tIdx][i]) != math.Float64bits(off.PayoffTrace[tIdx][i]) {
+					t.Fatalf("payoff trace[%d][%d] diverged", tIdx, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBestResponseWorkersHonorsProcessDefault checks the pooled entry point
+// follows game.SetIncrementalDefault and stays byte-identical across modes.
+func TestBestResponseWorkersHonorsProcessDefault(t *testing.T) {
+	defer game.SetIncrementalDefault(true)
+	cfg := defaultGame(t, 3)
+	p := cfg.MinimalProfile()
+	for i := 0; i < cfg.N(); i++ {
+		game.SetIncrementalDefault(true)
+		sOn, vOn, okOn := BestResponseWorkers(cfg, p, i, 1e-7, 1)
+		game.SetIncrementalDefault(false)
+		sOff, vOff, okOff := BestResponseWorkers(cfg, p, i, 1e-7, 1)
+		if sOn != sOff || math.Float64bits(vOn) != math.Float64bits(vOff) || okOn != okOff {
+			t.Fatalf("org %d: default-on (%+v, %x) != default-off (%+v, %x)",
+				i, sOn, math.Float64bits(vOn), sOff, math.Float64bits(vOff))
+		}
+	}
+}
+
+var engineSink float64
+
+// TestBestResponseZeroAlloc pins the tentpole's allocation contract: a
+// steady-state serial best-response scan on a bound engine performs zero
+// heap allocations. It uses an explicit engine (not the pool) so a
+// concurrent GC cannot empty the pool mid-measurement and flake the count.
+func TestBestResponseZeroAlloc(t *testing.T) {
+	cfg := defaultGame(t, 1)
+	p := cfg.MinimalProfile()
+	eng := NewEngine(cfg)
+	eng.Bind(p)
+	// Warm once: the first scan may grow the golden-section bracket scratch.
+	if _, _, ok := eng.BestResponse(0, 1e-7, 1); !ok {
+		t.Fatal("no feasible best response for org 0")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < cfg.N(); i++ {
+			_, v, _ := eng.BestResponse(i, 1e-7, 1)
+			engineSink = v
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("BestResponse allocates %v per sweep, want 0", allocs)
+	}
+}
+
+// BenchmarkBestResponseAllocs pits the engine's serial scan against the
+// naive reference at the default instance size; with -benchmem the on case
+// documents the zero-alloc steady state the tentpole requires.
+func BenchmarkBestResponseAllocs(b *testing.B) {
+	cfg, err := game.DefaultConfig(game.GenOptions{Seed: 7, NoOrgName: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := cfg.MinimalProfile()
+	b.Run("incremental=on", func(b *testing.B) {
+		b.ReportAllocs()
+		eng := NewEngine(cfg)
+		eng.Bind(p)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, ok := eng.BestResponse(i%cfg.N(), 1e-7, 1); !ok {
+				b.Fatal("no feasible response")
+			}
+		}
+	})
+	b.Run("incremental=off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, ok := BestResponseNaive(cfg, p, i%cfg.N(), 1e-7, 1); !ok {
+				b.Fatal("no feasible response")
+			}
+		}
+	})
+}
+
+// TestEngineResetReusesForSameConfig verifies the pool fast path: releasing
+// and re-acquiring for the same config skips the evaluator rebuild and the
+// engine still answers correctly after rebinding.
+func TestEngineResetReusesForSameConfig(t *testing.T) {
+	cfg := defaultGame(t, 2)
+	p := cfg.MinimalProfile()
+	e := acquireEngine(cfg)
+	e.Bind(p)
+	want := e.Payoff(0)
+	releaseEngine(e)
+	e2 := acquireEngine(cfg)
+	e2.Bind(p)
+	if got := e2.Payoff(0); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("pooled engine diverged after reuse: %x vs %x", math.Float64bits(got), math.Float64bits(want))
+	}
+	releaseEngine(e2)
+}

@@ -18,6 +18,13 @@ var (
 	mSolveSec   = obs.NewHistogram("tradefl_dbr_solve_seconds", "end-to-end wall time of DBR runs", obs.TimeBuckets)
 )
 
+// Incremental-engine cache telemetry: pooled-engine reuse (a hit skips the
+// DeltaEvaluator rebuild because the engine comes back for the same config).
+var (
+	mEngineHits   = obs.NewCounter("tradefl_cache_engine_hits_total", "pooled best-response engines reused for the same config (evaluator rebuild skipped)")
+	mEngineMisses = obs.NewCounter("tradefl_cache_engine_misses_total", "pooled best-response engines rebuilt for a new config")
+)
+
 var dbrLog = obs.Component("dbr")
 
 // Ring fault-recovery telemetry: how often the token had to be re-sent to

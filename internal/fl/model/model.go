@@ -151,13 +151,14 @@ func (m *MLP) SetParams(src []*tensor.Matrix) error {
 }
 
 // forward runs the network on x, returning the activations of every layer
-// (acts[0] = x, acts[last] = logits).
+// (acts[0] = x, acts[last] = logits). Activations beyond acts[0] come from
+// the tensor pool; callers release them with releaseActs when done.
 func (m *MLP) forward(x *tensor.Matrix) ([]*tensor.Matrix, error) {
 	acts := make([]*tensor.Matrix, 0, len(m.weights)+1)
 	acts = append(acts, x)
 	cur := x
 	for l := range m.weights {
-		next := tensor.New(cur.Rows, m.weights[l].Cols)
+		next := tensor.Get(cur.Rows, m.weights[l].Cols)
 		if err := tensor.MatMul(next, cur, m.weights[l]); err != nil {
 			return nil, err
 		}
@@ -173,14 +174,24 @@ func (m *MLP) forward(x *tensor.Matrix) ([]*tensor.Matrix, error) {
 	return acts, nil
 }
 
+// releaseActs returns the pooled activations (all but acts[0], which is the
+// caller's input) to the tensor pool.
+func releaseActs(acts []*tensor.Matrix) {
+	for _, a := range acts[1:] {
+		tensor.Put(a)
+	}
+}
+
 // Loss returns the mean cross-entropy of the model on d (Eq. 1).
 func (m *MLP) Loss(d *dataset.Dataset) (float64, error) {
 	acts, err := m.forward(d.X)
 	if err != nil {
 		return 0, err
 	}
+	defer releaseActs(acts)
 	logits := acts[len(acts)-1]
-	probs := tensor.New(logits.Rows, logits.Cols)
+	probs := tensor.Get(logits.Rows, logits.Cols)
+	defer tensor.Put(probs)
 	return tensor.SoftmaxCrossEntropy(probs, logits, d.Y)
 }
 
@@ -190,6 +201,7 @@ func (m *MLP) Accuracy(d *dataset.Dataset) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer releaseActs(acts)
 	pred := acts[len(acts)-1].ArgmaxRows()
 	var hit int
 	for i, p := range pred {
@@ -237,51 +249,71 @@ func (m *MLP) TrainEpochs(d *dataset.Dataset, epochs int, lr float64, batch int)
 	return last, nil
 }
 
-// step performs one SGD update on a mini-batch and returns its loss.
+// step performs one SGD update on a mini-batch and returns its loss. All
+// intermediates (activations, softmax buffer, per-layer gradients) cycle
+// through the tensor pool, so steady-state training steps allocate nothing.
 func (m *MLP) step(x *tensor.Matrix, y []int, lr float64) (float64, error) {
 	acts, err := m.forward(x)
 	if err != nil {
 		return 0, err
 	}
+	defer releaseActs(acts)
 	logits := acts[len(acts)-1]
-	probs := tensor.New(logits.Rows, logits.Cols)
+	probs := tensor.Get(logits.Rows, logits.Cols)
 	loss, err := tensor.SoftmaxCrossEntropy(probs, logits, y)
 	if err != nil {
+		tensor.Put(probs)
 		return 0, err
 	}
 	grad := probs // reuse buffer: grad aliases probs
 	if err := tensor.SoftmaxCrossEntropyGrad(grad, probs, y); err != nil {
+		tensor.Put(probs)
 		return 0, err
 	}
 	// Backpropagate layer by layer.
 	for l := len(m.weights) - 1; l >= 0; l-- {
 		in := acts[l]
-		gw := tensor.New(m.weights[l].Rows, m.weights[l].Cols)
-		if err := tensor.MatMulATB(gw, in, grad); err != nil {
-			return 0, err
-		}
-		gb := tensor.New(1, m.biases[l].Cols)
-		if err := tensor.ColumnSums(gb, grad); err != nil {
-			return 0, err
-		}
+		gw := tensor.Get(m.weights[l].Rows, m.weights[l].Cols)
+		gb := tensor.Get(1, m.biases[l].Cols)
 		var gin *tensor.Matrix
+		release := func() {
+			tensor.Put(gw)
+			tensor.Put(gb)
+			tensor.Put(gin)
+			tensor.Put(grad)
+		}
+		if err := tensor.MatMulATB(gw, in, grad); err != nil {
+			release()
+			return 0, err
+		}
+		if err := tensor.ColumnSums(gb, grad); err != nil {
+			release()
+			return 0, err
+		}
 		if l > 0 {
-			gin = tensor.New(grad.Rows, m.weights[l].Rows)
+			gin = tensor.Get(grad.Rows, m.weights[l].Rows)
 			if err := tensor.MatMulABT(gin, grad, m.weights[l]); err != nil {
+				release()
 				return 0, err
 			}
 			if err := tensor.ReLUBackward(gin, acts[l]); err != nil {
+				release()
 				return 0, err
 			}
 		}
 		if m.WeightDecay > 0 {
 			if err := gw.AXPY(m.WeightDecay, m.weights[l]); err != nil {
+				release()
 				return 0, err
 			}
 		}
 		if err := m.applyUpdate(l, gw, gb, lr); err != nil {
+			release()
 			return 0, err
 		}
+		tensor.Put(gw)
+		tensor.Put(gb)
+		tensor.Put(grad)
 		grad = gin
 	}
 	return loss, nil

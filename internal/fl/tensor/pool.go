@@ -1,0 +1,44 @@
+package tensor
+
+import (
+	"sync"
+
+	"tradefl/internal/arena"
+)
+
+// headerPool recycles Matrix headers so Get/Put cycles allocate neither the
+// backing array (arena-pooled) nor the struct.
+var headerPool = sync.Pool{New: func() any { return new(Matrix) }}
+
+// Get returns a pooled rows×cols matrix whose contents are UNSPECIFIED —
+// the caller must fully initialize it before reading (every kernel in this
+// package that takes a dst writes all of it). Use GetZeroed when zeros are
+// required. Return the matrix with Put when done; steady-state Get/Put
+// cycles of stable shapes are allocation-free.
+func Get(rows, cols int) *Matrix {
+	m := headerPool.Get().(*Matrix)
+	m.Rows, m.Cols = rows, cols
+	m.Data = arena.Floats(rows * cols)
+	return m
+}
+
+// GetZeroed is Get with the contents cleared, interchangeable with New.
+func GetZeroed(rows, cols int) *Matrix {
+	m := headerPool.Get().(*Matrix)
+	m.Rows, m.Cols = rows, cols
+	m.Data = arena.FloatsZeroed(rows * cols)
+	return m
+}
+
+// Put returns a matrix obtained from Get/GetZeroed to the pool. m must not
+// be used afterwards (its data may be handed to another goroutine). Safe on
+// nil and on matrices not obtained from Get — unpooled backing arrays are
+// dropped rather than recycled.
+func Put(m *Matrix) {
+	if m == nil {
+		return
+	}
+	arena.PutFloats(m.Data)
+	m.Rows, m.Cols, m.Data = 0, 0, nil
+	headerPool.Put(m)
+}

@@ -1,0 +1,224 @@
+package game
+
+import "tradefl/internal/accuracy"
+
+// DeltaEvaluator answers "what is organization i's payoff when its strategy
+// is replaced by x, everyone else unchanged?" in O(N) instead of the O(N²)
+// a fresh Config.Payoff costs. It is the core of the incremental evaluation
+// engine: best-response scans ask exactly this question hundreds of times
+// per sweep against a profile that changes one coordinate at a time.
+//
+// # Exactness contract
+//
+// Every result is byte-identical to Config.Payoff on the substituted
+// profile — not merely close. The evaluator achieves this by replicating
+// the naive evaluator's floating-point expression trees exactly and caching
+// only operands, never reassociating:
+//
+//   - cached static factors (scale_i, dmgCoef_i, contribution-index
+//     operands) are each computed by the same expression the naive path
+//     evaluates, so their bits agree;
+//   - Ω is re-folded left-to-right over the full profile on every query
+//     (O(N)); an O(1) "subtract old, add new" update would change the
+//     partial-sum sequence and leak one-ulp drift. This is why the query
+//     cost is O(N), not O(1) — O(N) is the floor for bit-exact results;
+//   - P(Ω) is evaluated once and reused for both the revenue and the
+//     damage gain, exactly as the naive path computes the same value twice;
+//   - the redistribution fold visits every j in index order, including the
+//     j = i zero term the naive Transfer contributes.
+//
+// The fuzz and equivalence tests assert bit-equality against Config.Payoff
+// across random configs, profiles and single-coordinate mutations, and
+// SetSelfCheck enables a runtime fallback path that cross-checks every
+// query against the naive evaluator and returns the naive bits on any
+// mismatch (it never fires; it exists as a deployment safety net).
+//
+// A DeltaEvaluator is not safe for concurrent mutation (Bind/Update), but
+// concurrent PayoffWith queries against a bound evaluator are read-only and
+// race-free — the parallel best-response scan relies on this.
+type DeltaEvaluator struct {
+	cfg *Config
+	acc accuracy.Model
+
+	// Static per-organization caches (valid for the config's lifetime).
+	scale   []float64 // omegaScale(i)
+	q       []float64 // quality()
+	bits    []float64 // DataBits
+	prof    []float64 // Profitability
+	dmgCoef []float64 // (1−α)·Σ_j ρ_ij·p_j — the damage factor of Eq. (7)
+
+	gamma, lambda, energyWeight float64
+	alpha, oneMinusAlpha, boost float64
+	personal                    bool
+
+	// Profile-bound caches (valid until the next Bind/Update).
+	p  Profile   // private copy of the bound profile
+	xs []float64 // ContributionIndex(j, p[j]) for every j
+
+	selfCheck  bool
+	work       Profile // scratch for the self-check fallback
+	mismatches int64
+}
+
+// NewDeltaEvaluator builds an evaluator for cfg. The config must remain
+// unmodified for the evaluator's lifetime; call Reset after changing it.
+func NewDeltaEvaluator(cfg *Config) *DeltaEvaluator {
+	ev := &DeltaEvaluator{}
+	ev.Reset(cfg)
+	return ev
+}
+
+// Reset rebinds the evaluator to cfg, re-deriving every static cache. It
+// reuses the existing backing arrays when the organization count allows,
+// so pooled evaluators reset without allocating.
+func (ev *DeltaEvaluator) Reset(cfg *Config) {
+	n := cfg.N()
+	ev.cfg = cfg
+	ev.acc = cfg.Accuracy
+	if cap(ev.scale) < n {
+		ev.scale = make([]float64, n)
+		ev.q = make([]float64, n)
+		ev.bits = make([]float64, n)
+		ev.prof = make([]float64, n)
+		ev.dmgCoef = make([]float64, n)
+		ev.xs = make([]float64, n)
+		ev.p = make(Profile, n)
+		ev.work = make(Profile, n)
+	}
+	ev.scale = ev.scale[:n]
+	ev.q = ev.q[:n]
+	ev.bits = ev.bits[:n]
+	ev.prof = ev.prof[:n]
+	ev.dmgCoef = ev.dmgCoef[:n]
+	ev.xs = ev.xs[:n]
+	ev.p = ev.p[:n]
+	ev.work = ev.work[:n]
+	ev.gamma = cfg.Gamma
+	ev.lambda = cfg.Lambda
+	ev.energyWeight = cfg.EnergyWeight
+	ev.alpha = cfg.Personal.Alpha
+	ev.oneMinusAlpha = 1 - cfg.Personal.Alpha
+	ev.boost = cfg.Personal.boost()
+	ev.personal = cfg.Personal.enabled()
+	for i := 0; i < n; i++ {
+		ev.scale[i] = cfg.omegaScale(i)
+		ev.q[i] = cfg.Orgs[i].quality()
+		ev.bits[i] = cfg.Orgs[i].DataBits
+		ev.prof[i] = cfg.Orgs[i].Profitability
+		// Same fold Config.Damage performs, then the same (1−α)·sum product.
+		var sum float64
+		for j := range cfg.Orgs {
+			sum += cfg.Rho[i][j] * cfg.Orgs[j].Profitability
+		}
+		ev.dmgCoef[i] = (1 - cfg.Personal.Alpha) * sum
+	}
+}
+
+// Config returns the bound game configuration.
+func (ev *DeltaEvaluator) Config() *Config { return ev.cfg }
+
+// SetSelfCheck toggles the exact-equality fallback path: every query is
+// cross-checked against the naive Config.Payoff, the naive bits win on any
+// disagreement, and Mismatches counts the disagreements (always zero unless
+// the replication invariant is broken). Costs O(N²) per query; meant for
+// tests and belt-and-braces deployments, not hot paths.
+func (ev *DeltaEvaluator) SetSelfCheck(on bool) { ev.selfCheck = on }
+
+// Mismatches reports how many self-checked queries disagreed with the
+// naive evaluator since Reset. A nonzero value is a bug.
+func (ev *DeltaEvaluator) Mismatches() int64 { return ev.mismatches }
+
+// Bind points the evaluator at profile p (copied; the caller's slice is not
+// retained) and refreshes the per-organization aggregate caches in O(N).
+func (ev *DeltaEvaluator) Bind(p Profile) {
+	copy(ev.p, p)
+	for j := range ev.p {
+		ev.xs[j] = ev.contribution(j, ev.p[j])
+	}
+}
+
+// Update replaces the bound strategy of organization i in O(1), keeping the
+// aggregate caches consistent. Use it after a best-response move instead of
+// re-binding the whole profile.
+func (ev *DeltaEvaluator) Update(i int, s Strategy) {
+	ev.p[i] = s
+	ev.xs[i] = ev.contribution(i, s)
+}
+
+// Bound returns the evaluator's private copy of the bound profile (read
+// only; mutate through Update).
+func (ev *DeltaEvaluator) Bound() Profile { return ev.p }
+
+// contribution replicates Config.ContributionIndex bit-for-bit from cached
+// operands: q_i·d_i·s_i + λ·f_i with the same association order.
+func (ev *DeltaEvaluator) contribution(i int, s Strategy) float64 {
+	return ev.q[i]*s.D*ev.bits[i] + ev.lambda*s.F
+}
+
+// Payoff returns organization i's payoff at the bound profile,
+// byte-identical to Config.Payoff(i, bound profile).
+func (ev *DeltaEvaluator) Payoff(i int) float64 {
+	return ev.PayoffWith(i, ev.p[i])
+}
+
+// PayoffWith returns organization i's payoff when its bound strategy is
+// replaced by s (other organizations unchanged), byte-identical to
+// Config.Payoff(i, p') where p' is the substituted profile. O(N).
+func (ev *DeltaEvaluator) PayoffWith(i int, s Strategy) float64 {
+	val := ev.payoffWith(i, s)
+	if ev.selfCheck {
+		copy(ev.work, ev.p)
+		ev.work[i] = s
+		if naive := ev.cfg.Payoff(i, ev.work); naive != val {
+			ev.mismatches++
+			return naive
+		}
+	}
+	return val
+}
+
+func (ev *DeltaEvaluator) payoffWith(i int, s Strategy) float64 {
+	// Ω: the same left-to-right index-order fold Config.Omega performs,
+	// with organization i's term substituted in place.
+	var omega float64
+	for j := range ev.p {
+		d := ev.p[j].D
+		if j == i {
+			d = s.D
+		}
+		omega += d * ev.scale[j]
+	}
+	perf := ev.acc.Value(omega)
+
+	// Revenue: p_i·P (base) or p_i·[(1−α)·P + α·P_loc] (personalization),
+	// reusing perf for the global component exactly as the naive path
+	// evaluates the same Ω twice.
+	var revenue float64
+	if ev.personal {
+		local := ev.acc.Value(ev.boost * s.D * ev.scale[i])
+		revenue = ev.prof[i] * (ev.oneMinusAlpha*perf + ev.alpha*local)
+	} else {
+		revenue = ev.prof[i] * perf
+	}
+
+	// Damage: dmgCoef_i·[P(Ω) − P(Ω − d_i·scale_i)].
+	gain := perf - ev.acc.Value(omega-s.D*ev.scale[i])
+	damage := ev.dmgCoef[i] * gain
+
+	// Redistribution: index-order fold over all j, including the j = i zero
+	// term the naive Transfer contributes.
+	xi := ev.contribution(i, s)
+	var redist float64
+	for j := range ev.p {
+		if j == i {
+			redist += 0
+			continue
+		}
+		redist += ev.gamma * ev.cfg.Rho[i][j] * (xi - ev.xs[j])
+	}
+
+	return revenue -
+		ev.energyWeight*ev.cfg.Energy(i, s) -
+		damage +
+		redist
+}

@@ -1,0 +1,61 @@
+package game
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Toggle is a three-state option for features that default to a
+// process-wide setting: the zero value defers to the default, On/Off force
+// the feature regardless of it. Solver Options embed it so tests and
+// benchmarks can A/B a single solve while cmds flip the whole process with
+// one flag.
+type Toggle int
+
+const (
+	// ToggleDefault defers to the process-wide default.
+	ToggleDefault Toggle = iota
+	// ToggleOn forces the feature on.
+	ToggleOn
+	// ToggleOff forces the feature off.
+	ToggleOff
+)
+
+// incrementalOff stores the *inverted* process default so the zero value
+// means "incremental on" — the engine is byte-identical to the naive path,
+// so it is the correct default and -incremental=off exists for A/B runs.
+var incrementalOff atomic.Bool
+
+// SetIncrementalDefault sets the process-wide default of the incremental
+// evaluation engine (the -incremental flag target). It affects every
+// solver whose Options leave the Incremental toggle at ToggleDefault.
+func SetIncrementalDefault(on bool) { incrementalOff.Store(!on) }
+
+// IncrementalDefault reports the process-wide incremental default.
+func IncrementalDefault() bool { return !incrementalOff.Load() }
+
+// ApplyIncrementalFlag parses a -incremental flag value ("on" or "off") and
+// sets the process default accordingly. Shared by all cmds.
+func ApplyIncrementalFlag(v string) error {
+	switch v {
+	case "on":
+		SetIncrementalDefault(true)
+	case "off":
+		SetIncrementalDefault(false)
+	default:
+		return fmt.Errorf("-incremental must be on or off, got %q", v)
+	}
+	return nil
+}
+
+// Enabled resolves the toggle against the incremental process default.
+func (t Toggle) Enabled() bool {
+	switch t {
+	case ToggleOn:
+		return true
+	case ToggleOff:
+		return false
+	default:
+		return IncrementalDefault()
+	}
+}

@@ -60,6 +60,13 @@ type Options struct {
 	// process default (GOMAXPROCS); 1 runs the exact serial code path.
 	// Results are byte-identical for every worker count.
 	Workers int
+	// Incremental selects the evaluation engine (see cache.go): per-level
+	// constant caches, f-vector primal memoization, persistent incrementally-
+	// grown cut tables with dominated-cut eviction, and incumbent-seeded
+	// master searches (on) versus the naive recompute-everything reference
+	// path (off). The solution is byte-identical either way; the zero value
+	// follows the process default (-incremental flag), which is on.
+	Incremental game.Toggle
 }
 
 func (o Options) withDefaults() Options {
@@ -122,10 +129,57 @@ type solver struct {
 	opts Options
 	// workers is the resolved master-search worker count (≥ 1).
 	workers int
+	// inc selects the incremental evaluation engine (cache.go).
+	inc bool
 	// rhoBar[i] = ρ̄_i, zs[i] = z_i, scale[i] = Ω unit per d_i.
 	rhoBar, zs, scale []float64
 	optCuts           []optimalityCut
 	feasCuts          []feasibilityCut
+
+	// Incremental-engine state, populated by initIncremental (inc only).
+	// levels aliases the per-org CPU grids; lvl* cache per-(org, level)
+	// constants; tables are the persistent master cut tables; memo/memoKeys/
+	// keyBuf implement the f-vector primal memo; lb mirrors the incumbent
+	// lower bound for master seeding; wf* are water-fill scratch.
+	levels                                     [][]float64
+	lvlCost, lvlLoY, lvlHiY, lvlFOnly, lvlCapD [][]float64
+	lvlOK                                      [][]bool
+	tables                                     *cutTables
+	memo                                       map[string]primalResult
+	memoKeys                                   []string
+	keyBuf                                     []byte
+	lb                                         float64
+	wfY, wfW, wfLo, wfHi                       []float64
+	wfOrder                                    []int
+	// prevIdx is the previous master solve's argmax grid point; the next
+	// master search warm-starts its incumbent from this point's φ under the
+	// current cut set (masterWarmSeed).
+	prevIdx []int
+}
+
+// newSolver builds the per-run solver state: shared precomputation plus the
+// incremental caches when the incremental engine is enabled.
+func newSolver(cfg *game.Config, opts Options) *solver {
+	n := cfg.N()
+	s := &solver{
+		cfg:     cfg,
+		opts:    opts,
+		workers: parallel.Resolve(opts.Workers),
+		inc:     opts.Incremental.Enabled(),
+		rhoBar:  make([]float64, n),
+		zs:      make([]float64, n),
+		scale:   make([]float64, n),
+		lb:      math.Inf(-1),
+	}
+	for i := 0; i < n; i++ {
+		s.rhoBar[i] = cfg.RhoRowSum(i)
+		s.zs[i] = cfg.Weight(i)
+		s.scale[i] = cfg.OmegaScale(i)
+	}
+	if s.inc {
+		s.initIncremental()
+	}
+	return s
 }
 
 // ErrInfeasible is returned when no CPU grid point admits a feasible d.
@@ -150,25 +204,15 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 	defer mSolveSec.ObserveSince(solveStart)
 	defer root.End()
 	n := cfg.N()
-	s := &solver{
-		cfg:     cfg,
-		opts:    opts,
-		workers: parallel.Resolve(opts.Workers),
-		rhoBar:  make([]float64, n),
-		zs:      make([]float64, n),
-		scale:   make([]float64, n),
-	}
-	for i := 0; i < n; i++ {
-		s.rhoBar[i] = cfg.RhoRowSum(i)
-		s.zs[i] = cfg.Weight(i)
-		s.scale[i] = cfg.OmegaScale(i)
-	}
+	s := newSolver(cfg, opts)
 
 	// Initial f^(0): the fastest level of every organization, which is
 	// feasible whenever any grid point is.
 	f := make([]float64, n)
+	fIdx := make([]int, n)
 	for i, o := range cfg.Orgs {
-		f[i] = o.CPULevels[len(o.CPULevels)-1]
+		fIdx[i] = len(o.CPULevels) - 1
+		f[i] = o.CPULevels[fIdx[i]]
 	}
 
 	res := &Result{}
@@ -181,7 +225,7 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 		iterSpan := root.StartChild("gbd.iter")
 		primalStart := time.Now()
 		primalSpan := iterSpan.StartChild("gbd.primal")
-		d, u, feasible := s.solvePrimal(f)
+		d, u, feasible := s.solvePrimal(f, fIdx)
 		primalSpan.End()
 		mPrimalSec.ObserveSince(primalStart)
 		if feasible {
@@ -191,6 +235,7 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 				lb = val
 				best = p
 			}
+			s.lb = lb
 			// The trace reports the incumbent (best-so-far) potential, the
 			// quantity Fig. 4 plots for the centralized algorithm.
 			res.PotentialTrace = append(res.PotentialTrace, lb)
@@ -198,7 +243,7 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 			for i, di := range d {
 				omegaHat += di * s.scale[i]
 			}
-			s.optCuts = append(s.optCuts, optimalityCut{
+			s.addOptCut(optimalityCut{
 				d:        d,
 				u:        u,
 				omegaHat: omegaHat,
@@ -212,7 +257,7 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 			lambda := s.solveFeasibility(f)
 			feasSpan.End()
 			mFeasSec.ObserveSince(feasStart)
-			s.feasCuts = append(s.feasCuts, feasibilityCut{d: d, lambda: lambda})
+			s.addFeasCut(feasibilityCut{d: d, lambda: lambda})
 			mFeasCuts.Inc()
 			if len(res.PotentialTrace) > 0 {
 				res.PotentialTrace = append(res.PotentialTrace, res.PotentialTrace[len(res.PotentialTrace)-1])
@@ -224,7 +269,7 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 
 		masterStart := time.Now()
 		masterSpan := iterSpan.StartChild("gbd.master")
-		fNext, phi, ok := s.solveMaster()
+		fIdxNext, fNext, phi, ok := s.solveMaster()
 		masterSpan.End()
 		mMasterSec.ObserveSince(masterStart)
 		if !ok {
@@ -247,7 +292,7 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 			res.Converged = true
 			break
 		}
-		f = fNext
+		f, fIdx = fNext, fIdxNext
 	}
 	if best == nil {
 		return nil, ErrInfeasible
@@ -312,15 +357,47 @@ func (s *solver) fOnlyTerm(i int, fi float64) float64 {
 // maximizer, the deadline-constraint Lagrange multipliers u (zero where the
 // deadline does not bind), and whether the primal was feasible. On an
 // infeasible primal it returns d = DMin everywhere (the feasibility-check
-// minimizer) and u = nil.
-func (s *solver) solvePrimal(f []float64) (d, u []float64, feasible bool) {
+// minimizer) and u = nil. fIdx gives f's grid indices; with the incremental
+// engine on it routes through the f-vector memo (pass nil to force a fresh
+// solve). Memoized slices are shared — callers must not mutate the result.
+func (s *solver) solvePrimal(f []float64, fIdx []int) (d, u []float64, feasible bool) {
+	if s.inc && fIdx != nil {
+		return s.solvePrimalMemo(f, fIdx)
+	}
+	return s.solvePrimalFresh(f, fIdx)
+}
+
+// solvePrimalFresh solves the primal from scratch. It reads the per-level
+// constant caches and reuses water-fill scratch when the incremental engine
+// is on (fIdx non-nil); every cached value is bit-identical to the fresh
+// expression, so both modes return identical bytes.
+func (s *solver) solvePrimalFresh(f []float64, fIdx []int) (d, u []float64, feasible bool) {
 	cfg := s.cfg
 	n := cfg.N()
+	cached := s.inc && fIdx != nil
 	d = make([]float64, n)
-	lo := make([]float64, n)
-	hi := make([]float64, n)
-	w := make([]float64, n)
+	var lo, hi, w []float64
+	if cached {
+		lo, hi, w = s.wfLo, s.wfHi, s.wfW
+	} else {
+		lo = make([]float64, n)
+		hi = make([]float64, n)
+		w = make([]float64, n)
+	}
 	for i := 0; i < n; i++ {
+		if cached {
+			k := fIdx[i]
+			if !s.lvlOK[i][k] {
+				for j := range d {
+					d[j] = cfg.DMin
+				}
+				return d, nil, false
+			}
+			lo[i] = s.lvlLoY[i][k]
+			hi[i] = s.lvlHiY[i][k]
+			w[i] = s.lvlCost[i][k]
+			continue
+		}
 		dlo, dhi, ok := cfg.FeasibleD(i, f[i])
 		if !ok {
 			for j := range d {
@@ -339,7 +416,13 @@ func (s *solver) solvePrimal(f []float64) (d, u []float64, feasible bool) {
 		Lo:       lo,
 		Hi:       hi,
 	}
-	y, _, err := prob.Solve()
+	var y []float64
+	var err error
+	if cached {
+		y, _, err = prob.SolveInto(s.wfY, s.wfOrder)
+	} else {
+		y, _, err = prob.Solve()
+	}
 	if err != nil {
 		// Bounds were validated above; treat a solver error as infeasible.
 		for j := range d {
@@ -359,7 +442,12 @@ func (s *solver) solvePrimal(f []float64) (d, u []float64, feasible bool) {
 		// gradient. dU/dd_i = [P'(Ω)·scale_i − w_i·scale_i];
 		// dG_i/dd_i = η_i·s_i/f_i.
 		o := cfg.Orgs[i]
-		capD := o.Comm.MaxDataFraction(o.DataBits, f[i], cfg.Deadline)
+		var capD float64
+		if cached {
+			capD = s.lvlCapD[i][fIdx[i]]
+		} else {
+			capD = o.Comm.MaxDataFraction(o.DataBits, f[i], cfg.Deadline)
+		}
 		atCap := capD < 1 && math.Abs(d[i]-capD) <= 1e-9*math.Max(1, capD)
 		if !atCap {
 			continue
@@ -444,8 +532,12 @@ func (s *solver) feasCutTerm(c feasibilityCut, i int, fi float64) float64 {
 
 // solveMaster maximizes φ over the discrete f grid subject to
 // φ ≤ L*(d_v, f, u_v) for all optimality cuts and L_*(d_w, f, λ_w) ≤ 0 for
-// all feasibility cuts. ok is false when every grid point is excluded.
-func (s *solver) solveMaster() (f []float64, phi float64, ok bool) {
+// all feasibility cuts. It returns the maximizer's grid indices and f
+// values. ok is false when every grid point is excluded — or, with the
+// incremental engine's incumbent seed, when no grid point can beat the
+// current lower bound (in which case Algorithm 1 converges on the incumbent
+// exactly as it would have with the naive master).
+func (s *solver) solveMaster() (fIdx []int, f []float64, phi float64, ok bool) {
 	switch s.opts.Master {
 	case MasterTraversal:
 		return s.masterTraversal()

@@ -16,11 +16,26 @@ import (
 // invPhi is 1/φ where φ is the golden ratio.
 const invPhi = 0.6180339887498949
 
+// maxBracketIter caps the shrink loops of GoldenSection and
+// BisectDecreasing. A well-posed call never gets near it — golden-section
+// over the full double range down to a 1e-300 tolerance needs under 3000
+// iterations — but a tolerance below the interval's floating-point
+// resolution would otherwise spin forever because the bracket stops
+// shrinking once its endpoints are adjacent floats.
+const maxBracketIter = 4096
+
+// ErrMaxIterations is returned when a bracketing search hits its iteration
+// cap before the interval shrank below the tolerance — in practice a
+// degenerate (sub-ulp) tolerance. The accompanying point values are still
+// the best found and remain usable.
+var ErrMaxIterations = errors.New("optimize: iteration cap reached before convergence (degenerate tolerance?)")
+
 // GoldenSection maximizes a unimodal (e.g. concave) function f over
 // [lo, hi] to within tol of the maximizer and returns (x*, f(x*)).
 // It degrades gracefully: for a non-unimodal f it still returns the best
-// point probed. tol must be positive.
-func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64) {
+// point probed. tol must be positive. A non-nil error reports the
+// iteration cap (ErrMaxIterations); x and fx are still the best found.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64, err error) {
 	if hi < lo {
 		lo, hi = hi, lo
 	}
@@ -31,7 +46,12 @@ func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64)
 	c := b - invPhi*(b-a)
 	d := a + invPhi*(b-a)
 	fc, fd := f(c), f(d)
+	iter := 0
 	for b-a > tol {
+		if iter++; iter > maxBracketIter {
+			err = ErrMaxIterations
+			break
+		}
 		if fc >= fd {
 			b, d, fd = d, c, fc
 			c = b - invPhi*(b-a)
@@ -51,21 +71,27 @@ func GoldenSection(f func(float64) float64, lo, hi, tol float64) (x, fx float64)
 	if fhi := f(hi); fhi > fx {
 		x, fx = hi, fhi
 	}
-	return x, fx
+	return x, fx, err
 }
 
 // BisectDecreasing finds a root of a nonincreasing function g on [lo, hi]
 // by bisection. It returns lo if g(lo) ≤ 0 and hi if g(hi) ≥ 0 (the root is
 // outside the interval); this is the behaviour concave maximization wants
-// when the derivative has constant sign on the box.
-func BisectDecreasing(g func(float64) float64, lo, hi, tol float64) float64 {
+// when the derivative has constant sign on the box. A non-nil error
+// reports the iteration cap (ErrMaxIterations); the returned point is
+// still the midpoint of the best bracket found.
+func BisectDecreasing(g func(float64) float64, lo, hi, tol float64) (float64, error) {
 	if g(lo) <= 0 {
-		return lo
+		return lo, nil
 	}
 	if g(hi) >= 0 {
-		return hi
+		return hi, nil
 	}
+	iter := 0
 	for hi-lo > tol {
+		if iter++; iter > maxBracketIter {
+			return (lo + hi) / 2, ErrMaxIterations
+		}
 		mid := (lo + hi) / 2
 		if g(mid) > 0 {
 			lo = mid
@@ -73,7 +99,7 @@ func BisectDecreasing(g func(float64) float64, lo, hi, tol float64) float64 {
 			hi = mid
 		}
 	}
-	return (lo + hi) / 2
+	return (lo + hi) / 2, nil
 }
 
 // Clip limits x to [lo, hi].
@@ -197,6 +223,16 @@ type WaterFillProblem struct {
 // cost. Runs in O(n log n + n·log(1/tol)). Returns the allocation and the
 // objective value.
 func (p *WaterFillProblem) Solve() ([]float64, float64, error) {
+	return p.SolveInto(nil, nil)
+}
+
+// SolveInto is Solve with caller-provided scratch: the allocation is written
+// into y and the cost ordering into order when their capacity suffices
+// (fresh slices are allocated otherwise). The returned slice aliases y, so a
+// caller reusing scratch across solves must consume or copy the result
+// before the next call. Repeated solves with adequate scratch allocate
+// nothing.
+func (p *WaterFillProblem) SolveInto(y []float64, order []int) ([]float64, float64, error) {
 	n := len(p.W)
 	if len(p.Lo) != n || len(p.Hi) != n {
 		return nil, 0, ErrDimensionMismatch
@@ -206,7 +242,10 @@ func (p *WaterFillProblem) Solve() ([]float64, float64, error) {
 			return nil, 0, errors.New("optimize: water-fill bounds empty")
 		}
 	}
-	y := make([]float64, n)
+	if cap(y) < n {
+		y = make([]float64, n)
+	}
+	y = y[:n]
 	omega := 0.0
 	var hiSum float64
 	for i := 0; i < n; i++ {
@@ -219,7 +258,10 @@ func (p *WaterFillProblem) Solve() ([]float64, float64, error) {
 		tol = 1e-9 * math.Max(1, hiSum)
 	}
 	// Ascending cost order.
-	order := make([]int, n)
+	if cap(order) < n {
+		order = make([]int, n)
+	}
+	order = order[:n]
 	for i := range order {
 		order[i] = i
 	}
@@ -244,9 +286,12 @@ func (p *WaterFillProblem) Solve() ([]float64, float64, error) {
 			continue
 		}
 		// Interior: find Δ with φ'(Ω+Δ) = w.
-		delta := BisectDecreasing(func(t float64) float64 {
+		delta, err := BisectDecreasing(func(t float64) float64 {
 			return p.PhiPrime(omega+t) - w
 		}, 0, room, tol)
+		if err != nil {
+			return nil, 0, err
+		}
 		y[i] = p.Lo[i] + delta
 		omega += delta
 		break

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -21,7 +22,10 @@ func TestGoldenSectionQuadratic(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			x, fx := GoldenSection(tt.f, tt.lo, tt.hi, 1e-9)
+			x, fx, err := GoldenSection(tt.f, tt.lo, tt.hi, 1e-9)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if math.Abs(x-tt.wantX) > tt.wantTolX {
 				t.Errorf("x = %v, want %v", x, tt.wantX)
 			}
@@ -33,7 +37,10 @@ func TestGoldenSectionQuadratic(t *testing.T) {
 }
 
 func TestGoldenSectionSwappedBoundsAndBadTol(t *testing.T) {
-	x, _ := GoldenSection(func(x float64) float64 { return -(x - 3) * (x - 3) }, 10, 0, -1)
+	x, _, err := GoldenSection(func(x float64) float64 { return -(x - 3) * (x - 3) }, 10, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(x-3) > 1e-6 {
 		t.Errorf("x = %v, want 3 with swapped bounds and non-positive tol", x)
 	}
@@ -48,7 +55,7 @@ func TestGoldenSectionConcaveQuick(t *testing.T) {
 		obj := func(x float64) float64 { return -a * (x - b) * (x - b) }
 		lo, hi := -5.0, 5.0
 		want := obj(Clip(b, lo, hi))
-		_, got := GoldenSection(obj, lo, hi, 1e-10)
+		_, got, _ := GoldenSection(obj, lo, hi, 1e-10)
 		return math.Abs(got-want) <= 1e-6*math.Max(1, math.Abs(want))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
@@ -58,15 +65,71 @@ func TestGoldenSectionConcaveQuick(t *testing.T) {
 
 func TestBisectDecreasing(t *testing.T) {
 	g := func(x float64) float64 { return 4 - x }
-	if got := BisectDecreasing(g, 0, 10, 1e-10); math.Abs(got-4) > 1e-9 {
-		t.Errorf("root = %v, want 4", got)
+	if got, err := BisectDecreasing(g, 0, 10, 1e-10); err != nil || math.Abs(got-4) > 1e-9 {
+		t.Errorf("root = %v (err %v), want 4", got, err)
 	}
 	// Root outside interval: clamp to the correct endpoint.
-	if got := BisectDecreasing(g, 5, 10, 1e-10); got != 5 {
-		t.Errorf("root = %v, want lo=5 when g(lo) ≤ 0", got)
+	if got, err := BisectDecreasing(g, 5, 10, 1e-10); err != nil || got != 5 {
+		t.Errorf("root = %v (err %v), want lo=5 when g(lo) ≤ 0", got, err)
 	}
-	if got := BisectDecreasing(g, 0, 3, 1e-10); got != 3 {
-		t.Errorf("root = %v, want hi=3 when g(hi) ≥ 0", got)
+	if got, err := BisectDecreasing(g, 0, 3, 1e-10); err != nil || got != 3 {
+		t.Errorf("root = %v (err %v), want hi=3 when g(hi) ≥ 0", got, err)
+	}
+}
+
+func TestBisectDecreasingIterationCap(t *testing.T) {
+	// A tolerance below the interval's floating-point resolution can never be
+	// met: the bracket stops shrinking once its endpoints are adjacent
+	// doubles. The cap must convert the former infinite loop into
+	// ErrMaxIterations while still returning a point inside the bracket.
+	g := func(x float64) float64 { return 1e15 + 2 - x }
+	got, err := BisectDecreasing(g, 1e15, 1e15+4, 1e-30)
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("err = %v, want ErrMaxIterations", err)
+	}
+	if got < 1e15 || got > 1e15+4 {
+		t.Errorf("capped root %v escaped the bracket", got)
+	}
+}
+
+func TestGoldenSectionIterationCap(t *testing.T) {
+	obj := func(x float64) float64 { return -(x - 1e15 - 1) * (x - 1e15 - 1) }
+	x, _, err := GoldenSection(obj, 1e15, 1e15+4, 1e-30)
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("err = %v, want ErrMaxIterations", err)
+	}
+	if x < 1e15 || x > 1e15+4 {
+		t.Errorf("capped maximizer %v escaped the bracket", x)
+	}
+}
+
+func TestWaterFillSolveIntoReusesScratch(t *testing.T) {
+	p := waterFillFixture()
+	want, wantVal, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, len(p.W))
+	order := make([]int, len(p.W))
+	got, gotVal, err := p.SolveInto(y, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &y[0] {
+		t.Error("SolveInto did not reuse the provided scratch slice")
+	}
+	if gotVal != wantVal {
+		t.Errorf("value %v != Solve value %v", gotVal, wantVal)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("y[%d] = %v != Solve's %v", i, got[i], want[i])
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		_, _, _ = p.SolveInto(y, order)
+	}); allocs != 0 {
+		t.Errorf("SolveInto with adequate scratch allocates %v/op, want 0", allocs)
 	}
 }
 

@@ -185,9 +185,21 @@ func ForCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 // Map runs fn(i) for every i in [0, n) under at most workers goroutines
 // and returns the results in index order.
 func Map[T any](workers, n int, fn func(i int) T) []T {
-	out := make([]T, n)
-	For(workers, n, func(i int) { out[i] = fn(i) })
-	return out
+	return MapInto(nil, workers, n, fn)
+}
+
+// MapInto is Map writing into caller-provided storage: dst is resized (or
+// freshly allocated when its capacity is short) to n entries and returned.
+// Steady-state callers that reuse dst across fan-outs allocate nothing for
+// the result slice. Slots are disjoint per index, so the determinism
+// contract is unchanged.
+func MapInto[T any](dst []T, workers, n int, fn func(i int) T) []T {
+	if cap(dst) < n {
+		dst = make([]T, n)
+	}
+	dst = dst[:n]
+	For(workers, n, func(i int) { dst[i] = fn(i) })
+	return dst
 }
 
 // MaxFloat64 is an atomic running maximum over float64 values, used as the

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Compares BENCH_latest.json against the checked-in BENCH_baseline.json and
-# fails if any shared benchmark slowed down by more than
-# BENCH_MAX_REGRESSION_PCT percent (default 5).
+# fails (exit 1, loudly) if any shared benchmark slowed down by more than
+# BENCH_MAX_REGRESSION_PCT percent (default 10).
 #
 # Run scripts/bench.sh first to refresh BENCH_latest.json. If no baseline
 # exists yet the comparison is skipped (promote one with
@@ -9,7 +9,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_MAX_REGRESSION_PCT="${BENCH_MAX_REGRESSION_PCT:-5}"
+BENCH_MAX_REGRESSION_PCT="${BENCH_MAX_REGRESSION_PCT:-10}"
 
 if [[ ! -f BENCH_baseline.json ]]; then
     echo "no BENCH_baseline.json — skipping comparison (run scripts/bench.sh --promote to create one)" >&2
@@ -19,4 +19,10 @@ if [[ ! -f BENCH_latest.json ]]; then
     echo "no BENCH_latest.json — run scripts/bench.sh first" >&2
     exit 1
 fi
-go run ./scripts/benchcmp compare -max-regression "$BENCH_MAX_REGRESSION_PCT" BENCH_baseline.json BENCH_latest.json
+if ! go run ./scripts/benchcmp compare -max-regression "$BENCH_MAX_REGRESSION_PCT" BENCH_baseline.json BENCH_latest.json; then
+    echo >&2
+    echo "XXX BENCHMARK REGRESSION over ${BENCH_MAX_REGRESSION_PCT}% vs BENCH_baseline.json XXX" >&2
+    echo "XXX inspect benchmarks/latest.txt; if the slowdown is intended, re-baseline XXX" >&2
+    echo "XXX with 'scripts/bench.sh --promote' and commit BENCH_baseline.json.       XXX" >&2
+    exit 1
+fi

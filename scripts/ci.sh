@@ -21,6 +21,16 @@ go build ./...
 echo "==> go test -race ./internal/obs (telemetry fast gate)"
 go test -race ./internal/obs/
 
+echo "==> incremental-engine fast gate (byte-identical A/B under -race + 1-iteration bench smoke)"
+# The equivalence suite is the exactness contract of the -incremental
+# engine: DeltaEvaluator vs naive payoffs (plus fuzz seed corpus), DBR and
+# CGBD solves on vs off. It runs first so a broken cache fails in seconds,
+# then a single-iteration bench pass proves the tracked harness end to end
+# without timing anything.
+go test -race -run 'Delta|Engine|Incremental|ZeroAlloc|PrimalMemo|CutDomination' \
+  ./internal/game/ ./internal/dbr/ ./internal/gbd/
+BENCH_TIME=1x BENCH_COUNT=1 scripts/bench.sh >/dev/null
+
 echo "==> go test -race ./..."
 go test -race ./...
 
