@@ -25,6 +25,7 @@ import (
 	"tradefl/internal/game"
 	"tradefl/internal/obs"
 	"tradefl/internal/randx"
+	"tradefl/internal/verify"
 )
 
 // keyFile is the JSON document written with -keys: enough for a separate
@@ -37,7 +38,12 @@ type keyFile struct {
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	err := run(os.Args[1:])
+	if err == nil {
+		// With -verify, any invariant breach turns into a nonzero exit.
+		err = verify.Finish()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tradefl-chain:", err)
 		os.Exit(1)
 	}
@@ -46,13 +52,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tradefl-chain", flag.ContinueOnError)
 	var (
-		listen = fs.String("listen", "127.0.0.1:8545", "RPC listen address")
-		seed   = fs.Int64("seed", 7, "seed of the game instance and accounts")
-		keys   = fs.String("keys", "", "write member key/address info to this file")
-		fund   = fs.Int64("fund", 1_000_000_000, "genesis balance per member (wei)")
-		store  = fs.String("store", "", "persist the chain to this file (reloaded if present)")
-		chaos  = fs.String("chaos", "", "inject server-side RPC faults, e.g. \"seed=7,rpcfail=0.1,rpcdelayp=0.2\"")
-		incr   = fs.String("incremental", "on", "incremental evaluation engine: on|off (A/B; outputs are byte-identical)")
+		listen   = fs.String("listen", "127.0.0.1:8545", "RPC listen address")
+		seed     = fs.Int64("seed", 7, "seed of the game instance and accounts")
+		keys     = fs.String("keys", "", "write member key/address info to this file")
+		fund     = fs.Int64("fund", 1_000_000_000, "genesis balance per member (wei)")
+		store    = fs.String("store", "", "persist the chain to this file (reloaded if present)")
+		chaos    = fs.String("chaos", "", "inject server-side RPC faults, e.g. \"seed=7,rpcfail=0.1,rpcdelayp=0.2\"")
+		incr     = fs.String("incremental", "on", "incremental evaluation engine: on|off (A/B; outputs are byte-identical)")
+		verifyOn = fs.Bool("verify", false, "audit settlement invariants at runtime (tradefl_verify_* metrics; nonzero exit on violation)")
 
 		obsFlags = obs.RegisterFlags(fs)
 	)
@@ -61,6 +68,9 @@ func run(args []string) error {
 	}
 	if err := game.ApplyIncrementalFlag(*incr); err != nil {
 		return err
+	}
+	if *verifyOn {
+		verify.Enable(verify.Options{})
 	}
 	diag, err := obsFlags.Apply()
 	if err != nil {

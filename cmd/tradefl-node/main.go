@@ -28,10 +28,16 @@ import (
 	"tradefl/internal/obs"
 	"tradefl/internal/parallel"
 	"tradefl/internal/transport"
+	"tradefl/internal/verify"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	err := run(os.Args[1:])
+	if err == nil {
+		// With -verify, any invariant breach turns into a nonzero exit.
+		err = verify.Finish()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tradefl-node:", err)
 		os.Exit(1)
 	}
@@ -52,6 +58,7 @@ func run(args []string) error {
 		backoff  = fs.Duration("send-backoff", transport.DefaultSendBackoff, "base backoff between TCP send attempts")
 		workers  = fs.Int("workers", 0, "best-response worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		incr     = fs.String("incremental", "on", "incremental evaluation engine: on|off (A/B; outputs are byte-identical)")
+		verifyOn = fs.Bool("verify", false, "audit solver and settlement invariants at runtime (tradefl_verify_* metrics; nonzero exit on violation)")
 		obsFlags = obs.RegisterFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +74,9 @@ func run(args []string) error {
 	parallel.SetDefault(*workers)
 	if err := game.ApplyIncrementalFlag(*incr); err != nil {
 		return err
+	}
+	if *verifyOn {
+		verify.Enable(verify.Options{})
 	}
 	cfg, err := game.DefaultConfig(game.GenOptions{Seed: *seed})
 	if err != nil {

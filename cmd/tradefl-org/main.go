@@ -29,10 +29,16 @@ import (
 	"tradefl/internal/obs"
 	"tradefl/internal/parallel"
 	"tradefl/internal/randx"
+	"tradefl/internal/verify"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	err := run(os.Args[1:])
+	if err == nil {
+		// With -verify, any invariant breach turns into a nonzero exit.
+		err = verify.Finish()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tradefl-org:", err)
 		os.Exit(1)
 	}
@@ -41,16 +47,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tradefl-org", flag.ContinueOnError)
 	var (
-		rpc     = fs.String("rpc", "127.0.0.1:8545", "chain node RPC address")
-		seed    = fs.Int64("seed", 7, "shared seed of the game instance and accounts")
-		index   = fs.Int("index", -1, "this organization's index")
-		dFlag   = fs.Float64("d", -1, "data fraction to report (default: solve with DBR)")
-		fFlag   = fs.Float64("f", -1, "CPU frequency to report (default: solve with DBR)")
-		commit  = fs.Bool("commit", false, "use commit-reveal contribution reporting (all members must)")
-		poll    = fs.Duration("poll", 500*time.Millisecond, "status poll interval")
-		timeout = fs.Duration("timeout", 2*time.Minute, "settlement deadline")
-		workers = fs.Int("workers", 0, "best-response worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		incr    = fs.String("incremental", "on", "incremental evaluation engine: on|off (A/B; outputs are byte-identical)")
+		rpc      = fs.String("rpc", "127.0.0.1:8545", "chain node RPC address")
+		seed     = fs.Int64("seed", 7, "shared seed of the game instance and accounts")
+		index    = fs.Int("index", -1, "this organization's index")
+		dFlag    = fs.Float64("d", -1, "data fraction to report (default: solve with DBR)")
+		fFlag    = fs.Float64("f", -1, "CPU frequency to report (default: solve with DBR)")
+		commit   = fs.Bool("commit", false, "use commit-reveal contribution reporting (all members must)")
+		poll     = fs.Duration("poll", 500*time.Millisecond, "status poll interval")
+		timeout  = fs.Duration("timeout", 2*time.Minute, "settlement deadline")
+		workers  = fs.Int("workers", 0, "best-response worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		incr     = fs.String("incremental", "on", "incremental evaluation engine: on|off (A/B; outputs are byte-identical)")
+		verifyOn = fs.Bool("verify", false, "audit solver and settlement invariants at runtime (tradefl_verify_* metrics; nonzero exit on violation)")
 
 		rpcTimeout = fs.Duration("rpc-timeout", 10*time.Second, "per-RPC-attempt deadline")
 		rpcRetries = fs.Int("rpc-retries", 3, "RPC retries after a transport failure (negative disables)")
@@ -70,6 +77,9 @@ func run(args []string) error {
 	parallel.SetDefault(*workers)
 	if err := game.ApplyIncrementalFlag(*incr); err != nil {
 		return err
+	}
+	if *verifyOn {
+		verify.Enable(verify.Options{})
 	}
 	cfg, err := game.DefaultConfig(game.GenOptions{Seed: *seed})
 	if err != nil {

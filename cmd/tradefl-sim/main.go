@@ -25,10 +25,16 @@ import (
 	"tradefl/internal/game"
 	"tradefl/internal/obs"
 	"tradefl/internal/parallel"
+	"tradefl/internal/verify"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	err := run(os.Args[1:])
+	if err == nil {
+		// With -verify, any invariant breach turns into a nonzero exit.
+		err = verify.Finish()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tradefl-sim:", err)
 		os.Exit(1)
 	}
@@ -47,6 +53,7 @@ func run(args []string) error {
 		plot     = fs.Bool("plot", false, "render terminal charts instead of CSV")
 		workers  = fs.Int("workers", 0, "solver/kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		incr     = fs.String("incremental", "on", "incremental evaluation engine: on|off (A/B; outputs are byte-identical)")
+		verifyOn = fs.Bool("verify", false, "audit solver and settlement invariants at runtime (tradefl_verify_* metrics; nonzero exit on violation)")
 		summary  = fs.String("summary", "text", "end-of-run solver summary: text|json|none")
 		diagHold = fs.Duration("diag-hold", 0, "keep the diagnostics server alive this long after the run (requires -diag-addr)")
 		obsFlags = obs.RegisterFlags(fs)
@@ -69,6 +76,9 @@ func run(args []string) error {
 	parallel.SetDefault(*workers)
 	if err := game.ApplyIncrementalFlag(*incr); err != nil {
 		return err
+	}
+	if *verifyOn {
+		verify.Enable(verify.Options{})
 	}
 	if *chaosRun != "" {
 		copts, err := chaos.ParseSpec(*chaosRun)

@@ -1,0 +1,103 @@
+package chain
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// trySend submits a tx and returns the receipt outcome instead of
+// asserting it, so fuzz iterations can compare acceptance across modes.
+func (f *fixture) trySend(t *testing.T, acct *Account, fn Function, args any, value Wei) (bool, string) {
+	t.Helper()
+	tx, err := NewTransaction(acct, f.bc.Nonce(acct.Address()), fn, args, value)
+	if err != nil {
+		// Unmarshalable args (NaN/Inf contributions) never reach the chain.
+		return false, err.Error()
+	}
+	if err := f.bc.SubmitTx(*tx); err != nil {
+		t.Fatalf("SubmitTx(%s): %v", fn, err)
+	}
+	b, err := f.bc.SealBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcpt := b.Receipts[len(b.Receipts)-1]
+	return rcpt.OK, rcpt.Error
+}
+
+// FuzzCommitReveal drives the commit-reveal lifecycle with arbitrary
+// contributions and salts. Invariants:
+//
+//  1. CommitmentHash is deterministic, 64 hex chars, and salt-sensitive.
+//  2. A tampered reveal (different salt) never passes.
+//  3. Commit-reveal accepts exactly the contributions direct submission
+//     accepts: the hardened mode must not widen or narrow the range gate.
+//  4. An accepted reveal stores the contribution bit-exactly.
+func FuzzCommitReveal(f *testing.F) {
+	f.Add(0.5, 4e9, "salt")
+	f.Add(0.01, 3e9, "")
+	f.Add(1.0, 5e9, "a-much-longer-salt-value-0123456789")
+	f.Add(0.0, 0.0, "s")
+	f.Add(-0.25, 4e9, "s")   // d out of range
+	f.Add(1.5, 4e9, "s")     // d out of range
+	f.Add(0.5, -1e9, "salt") // f out of range
+	f.Fuzz(func(t *testing.T, d, freq float64, salt string) {
+		if !utf8.ValidString(salt) {
+			// JSON transport replaces invalid UTF-8 with U+FFFD, so the
+			// revealed salt would differ from the committed one by
+			// construction — not a property of the contract.
+			t.Skip("salt not valid UTF-8")
+		}
+		c := Contribution{D: d, F: freq}
+		h := CommitmentHash(c, salt)
+		if h != CommitmentHash(c, salt) {
+			t.Fatal("CommitmentHash is not deterministic")
+		}
+		if len(h) != 64 {
+			t.Fatalf("CommitmentHash length %d, want 64 hex chars", len(h))
+		}
+		if h == CommitmentHash(c, salt+"x") {
+			t.Fatal("salt does not blind the commitment")
+		}
+
+		// Reference: does the plain path accept this contribution?
+		direct := newFixture(t, 2)
+		for i, a := range direct.accounts {
+			direct.sendOK(t, a, FnDepositSubmit, nil, MinDeposit(direct.params, i, 5e9))
+		}
+		directOK, _ := direct.trySend(t, direct.accounts[0], FnContributionSubmit, c, 0)
+
+		// Commit-reveal path on a fresh chain.
+		cr := newFixture(t, 2)
+		for i, a := range cr.accounts {
+			cr.sendOK(t, a, FnDepositSubmit, nil, MinDeposit(cr.params, i, 5e9))
+		}
+		good := Contribution{D: 0.5, F: 4e9}
+		cr.sendOK(t, cr.accounts[0], FnContributionCommit, CommitArgs{Hash: h}, 0)
+		cr.sendOK(t, cr.accounts[1], FnContributionCommit, CommitArgs{Hash: CommitmentHash(good, "peer")}, 0)
+
+		// Tampered salt must be rejected and must not burn the commitment.
+		if ok, _ := cr.trySend(t, cr.accounts[0], FnContributionReveal, RevealArgs{Contribution: c, Salt: salt + "x"}, 0); ok {
+			t.Fatalf("tampered reveal accepted for d=%g f=%g salt=%q", d, freq, salt)
+		}
+
+		revealOK, revealErr := cr.trySend(t, cr.accounts[0], FnContributionReveal, RevealArgs{Contribution: c, Salt: salt}, 0)
+		if revealOK != directOK {
+			t.Fatalf("mode divergence for d=%g f=%g: direct submit ok=%v, reveal ok=%v (%s)",
+				d, freq, directOK, revealOK, revealErr)
+		}
+		if !revealOK {
+			return
+		}
+		err := cr.bc.ContractView(func(ct *Contract) error {
+			ms := ct.MemberData[cr.params.Members[0]]
+			if !ms.Submitted || ms.Contribution != c {
+				t.Fatalf("stored contribution %+v, want %+v", ms.Contribution, c)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}

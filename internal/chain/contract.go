@@ -240,7 +240,10 @@ func (c *Contract) payoffCalculate(from Address, value Wei) error {
 	}
 	// Rounding can leave the transfer set a few wei off balance; charge
 	// the residue to the first member so Σ payoffs is exactly zero
-	// (budget balance, Definition 5).
+	// (budget balance, Definition 5). The residual gauge reports the
+	// SIGNED value: positive when the transfers under-credit (member 0
+	// pays the difference), negative when they over-credit (member 0 is
+	// credited the difference).
 	var sum Wei
 	for _, m := range c.Params.Members {
 		sum += c.MemberData[m].Payoff
@@ -250,9 +253,16 @@ func (c *Contract) payoffCalculate(from Address, value Wei) error {
 		first := c.Params.Members[0]
 		ms := c.MemberData[first]
 		ms.Payoff -= sum
+		// The per-member bond check above ran on the pre-residual payoff;
+		// a positive residual debits member 0 further and must not push it
+		// beyond its bond (a negative residual only credits it).
+		if ms.Deposit+ms.Payoff < 0 {
+			return fmt.Errorf("%w: %s owes %v beyond its bond after the rounding residual", ErrInsufficientBond, first, FromWei(-ms.Payoff))
+		}
 		c.MemberData[first] = ms
 	}
 	c.Calculated = true
+	c.auditSettlement()
 	return nil
 }
 

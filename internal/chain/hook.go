@@ -1,0 +1,38 @@
+package chain
+
+import "sync/atomic"
+
+// SettlementAudit observes every successful payoffCalculate: the contract
+// parameters, the recorded contributions in member order, and the final
+// per-member payoffs in wei (post rounding-residual charge, so they sum to
+// exactly zero). internal/verify installs one to cross-check the on-chain
+// settlement against an independent float recomputation of Eq. (9) without
+// this package importing the auditor.
+type SettlementAudit func(params ContractParams, contribs []Contribution, payoffs []Wei)
+
+// settlementAudit holds the installed SettlementAudit (possibly a nil
+// function value; atomic.Value cannot store untyped nil).
+var settlementAudit atomic.Value
+
+// SetSettlementAudit installs fn as the post-calculate audit observer; nil
+// removes it. The hook runs synchronously inside the state transition, so
+// it must not call back into the contract.
+func SetSettlementAudit(fn SettlementAudit) { settlementAudit.Store(fn) }
+
+// auditSettlement snapshots the calculated contract and invokes the
+// installed hook, if any.
+func (c *Contract) auditSettlement() {
+	fn, _ := settlementAudit.Load().(SettlementAudit)
+	if fn == nil {
+		return
+	}
+	n := len(c.Params.Members)
+	contribs := make([]Contribution, n)
+	payoffs := make([]Wei, n)
+	for i, m := range c.Params.Members {
+		ms := c.MemberData[m]
+		contribs[i] = ms.Contribution
+		payoffs[i] = ms.Payoff
+	}
+	fn(c.Params, contribs, payoffs)
+}

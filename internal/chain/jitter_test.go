@@ -1,0 +1,42 @@
+package chain
+
+import (
+	"net/http"
+	"testing"
+)
+
+// seededTransport is a stand-in for the internal/faults RoundTripper: any
+// Transport exposing JitterSeed() int64 is probed by ClientOptions.
+type seededTransport struct{ seed int64 }
+
+func (s seededTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	return http.DefaultTransport.RoundTrip(nil)
+}
+func (s seededTransport) JitterSeed() int64 { return s.seed }
+
+func TestClientOptionsJitterSeedProbesTransport(t *testing.T) {
+	o := ClientOptions{Transport: seededTransport{seed: 42}}.withDefaults()
+	if o.JitterSeed != 42 {
+		t.Errorf("JitterSeed = %d, want 42 from the seed-aware transport", o.JitterSeed)
+	}
+}
+
+func TestClientOptionsExplicitJitterSeedWins(t *testing.T) {
+	o := ClientOptions{Transport: seededTransport{seed: 42}, JitterSeed: 9}.withDefaults()
+	if o.JitterSeed != 9 {
+		t.Errorf("JitterSeed = %d, want the explicit 9 over the transport's 42", o.JitterSeed)
+	}
+}
+
+func TestClientOptionsJitterSeedFallbacks(t *testing.T) {
+	// A transport whose derived seed is the sentinel 0 must not be trusted:
+	// the clock fallback has to kick in so the jitter stream is still
+	// seeded.
+	if o := (ClientOptions{Transport: seededTransport{seed: 0}}).withDefaults(); o.JitterSeed == 0 {
+		t.Error("zero transport seed left the jitter stream unseeded")
+	}
+	// No transport at all: wall-clock fallback, still nonzero.
+	if o := (ClientOptions{}).withDefaults(); o.JitterSeed == 0 {
+		t.Error("default options left the jitter stream unseeded")
+	}
+}

@@ -1,0 +1,131 @@
+package chain
+
+import (
+	"errors"
+	"testing"
+)
+
+// residualContract builds a 3-member contract where the per-member wei
+// rounding of R_i leaves Σ payoffs off by exactly the residual the test
+// wants, drives it to payoffCalculate, and returns it. Contributions use
+// lambda=0 and s=1 so x_i = d_i, which lets the test pick x profiles whose
+// redistribution lands on chosen sub-wei fractions.
+func residualContract(t *testing.T, d []float64, deposits []Wei) (*Contract, error) {
+	t.Helper()
+	members := []Address{"org-a", "org-b", "org-c"}
+	params := ContractParams{
+		Members: members,
+		Rho: [][]float64{
+			{0, 1, 1},
+			{1, 0, 1},
+			{1, 1, 0},
+		},
+		DataBits: []float64{1, 1, 1},
+		Gamma:    1,
+		Lambda:   0,
+	}
+	c, err := NewContract(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range members {
+		if err := c.depositSubmit(m, deposits[i]); err != nil {
+			t.Fatalf("deposit %s: %v", m, err)
+		}
+	}
+	for i, m := range members {
+		ms := c.MemberData[m]
+		ms.Submitted = true
+		ms.Contribution = Contribution{D: d[i], F: 0}
+		c.MemberData[m] = ms
+	}
+	return c, c.payoffCalculate(members[0], 0)
+}
+
+// TestResidualNegativeCreditsFirstMember covers the over-credit case: the
+// rounded transfers sum to −1 wei, the gauge must report the SIGNED value
+// (−1, not |−1|), and member 0 must be credited the wei so the settlement
+// is exactly budget balanced.
+func TestResidualNegativeCreditsFirstMember(t *testing.T) {
+	// x = [3e-7, 3e-7, 0] → R = [+3e-7, +3e-7, −6e-7] tokens
+	// → wei rounding [0, 0, −1] → residual −1.
+	c, err := residualContract(t, []float64{3e-7, 3e-7, 0}, []Wei{100, 100, 100})
+	if err != nil {
+		t.Fatalf("payoffCalculate: %v", err)
+	}
+	if got := mResidual.Value(); got != -1 {
+		t.Fatalf("tradefl_chain_budget_residual_wei = %v, want signed -1", got)
+	}
+	payoffs, err := c.Payoffs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Wei{1, 0, -1} // member 0 credited the -(-1) wei residue
+	var sum Wei
+	for i, p := range payoffs {
+		sum += p
+		if p != want[i] {
+			t.Errorf("payoff[%d] = %d wei, want %d", i, p, want[i])
+		}
+	}
+	if sum != 0 {
+		t.Fatalf("Σ payoffs = %d wei, want exact budget balance", sum)
+	}
+	// The settlement must return exactly the escrowed total.
+	var refunds, escrowed Wei
+	for i, m := range c.Params.Members {
+		escrowed += Wei(100)
+		r, err := c.payoffTransfer(m, 0)
+		if err != nil {
+			t.Fatalf("transfer %d: %v", i, err)
+		}
+		refunds += r
+	}
+	if refunds != escrowed {
+		t.Fatalf("refunds %d wei != escrowed %d wei", refunds, escrowed)
+	}
+	if !c.Settled {
+		t.Fatal("contract not settled after all transfers")
+	}
+}
+
+// TestResidualPositiveChargesFirstMember covers the under-credit case and
+// the bond re-check: a +1 wei residual is charged to member 0, and when
+// that charge exhausts member 0's bond the calculate must fail with
+// ErrInsufficientBond instead of leaving it under-collateralized.
+func TestResidualPositiveChargesFirstMember(t *testing.T) {
+	// x = [0, 7e-7, 7e-7] → R = [−1.4e-6, +7e-7, +7e-7] tokens
+	// → wei rounding [−1, +1, +1] → residual +1 charged to member 0.
+	c, err := residualContract(t, []float64{0, 7e-7, 7e-7}, []Wei{100, 100, 100})
+	if err != nil {
+		t.Fatalf("payoffCalculate: %v", err)
+	}
+	if got := mResidual.Value(); got != 1 {
+		t.Fatalf("tradefl_chain_budget_residual_wei = %v, want +1", got)
+	}
+	payoffs, err := c.Payoffs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Wei{-2, 1, 1}
+	var sum Wei
+	for i, p := range payoffs {
+		sum += p
+		if p != want[i] {
+			t.Errorf("payoff[%d] = %d wei, want %d", i, p, want[i])
+		}
+	}
+	if sum != 0 {
+		t.Fatalf("Σ payoffs = %d wei, want exact budget balance", sum)
+	}
+}
+
+func TestResidualChargeBeyondBondRejected(t *testing.T) {
+	// Same profile as the positive case, but member 0's bond (1 wei) covers
+	// only the pre-residual payoff (−1 wei); the +1 wei residual charge
+	// pushes it to −2 and must be rejected.
+	_, err := residualContract(t, []float64{0, 7e-7, 7e-7}, []Wei{1, 100, 100})
+	if !errors.Is(err, ErrInsufficientBond) {
+		t.Fatalf("payoffCalculate err = %v, want ErrInsufficientBond", err)
+	}
+}

@@ -316,8 +316,12 @@ type ClientOptions struct {
 	// retry doubles it up to MaxBackoff (default 2s), with ±50% jitter.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
-	// JitterSeed seeds the backoff jitter stream; 0 derives it from the
-	// clock. Fix it to make retry timing reproducible in tests.
+	// JitterSeed seeds the backoff jitter stream. 0 asks the Transport for
+	// a deterministic seed (the internal/faults RoundTripper derives one
+	// from its injector's plan seed and lane) and falls back to the wall
+	// clock only when the transport is not seed-aware — so a fully seeded
+	// chaos run never consults the clock. Fix it to make retry timing
+	// reproducible in tests.
 	JitterSeed int64
 	// Transport overrides the HTTP transport (fault injection in chaos
 	// runs); nil uses http.DefaultTransport.
@@ -340,9 +344,22 @@ func (o ClientOptions) withDefaults() ClientOptions {
 		o.MaxBackoff = 2 * time.Second
 	}
 	if o.JitterSeed == 0 {
+		if s, ok := o.Transport.(jitterSeeder); ok {
+			o.JitterSeed = s.JitterSeed()
+		}
+	}
+	if o.JitterSeed == 0 {
 		o.JitterSeed = time.Now().UnixNano()
 	}
 	return o
+}
+
+// jitterSeeder is the optional interface of seed-deterministic transports:
+// a Transport that can derive a stable seed from the run's configuration
+// (internal/faults RoundTripper) reports it here, and the client seeds its
+// retry jitter from it instead of the wall clock.
+type jitterSeeder interface {
+	JitterSeed() int64
 }
 
 // Client is a Web3-style client for the node's RPC interface. It is safe

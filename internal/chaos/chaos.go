@@ -31,6 +31,7 @@ import (
 	"tradefl/internal/obs"
 	"tradefl/internal/randx"
 	"tradefl/internal/transport"
+	"tradefl/internal/verify"
 )
 
 var chaosLog = obs.Component("chaos")
@@ -188,6 +189,13 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 	rep.PotentialGap = math.Abs(cfg.Potential(profile) - cfg.Potential(ref.Profile))
 	rep.IsNash = cfg.CheckNash(profile, 60, 1e-2).IsNash
+	if a := verify.Global(); a != nil {
+		// The ring's agreed profile traversed faulty links; audit it
+		// independently of the in-process reference solve above (whose own
+		// hooks already fired inside dbr.Solve).
+		a.CheckTransfers(cfg, profile, "chaos")
+		a.CheckNash(cfg, profile, a.Options().NashSlack, "chaos")
+	}
 
 	// Phase 2: settle the equilibrium contributions on-chain through
 	// faulty RPC links.
@@ -336,12 +344,15 @@ func runSettlement(ctx context.Context, cfg *game.Config, opts Options, inj *fau
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// JitterSeed is left 0 on purpose: the client derives it from
+			// the injector's plan seed through the fault transport (per
+			// lane, so each member gets its own stream), keeping the whole
+			// soak a pure function of the seed.
 			client := chain.NewClientOpts(srv.Addr(), chain.ClientOptions{
 				Timeout:     5 * time.Second,
 				MaxRetries:  10,
 				BaseBackoff: 5 * time.Millisecond,
 				MaxBackoff:  100 * time.Millisecond,
-				JitterSeed:  opts.Plan.Seed + int64(i) + 1,
 				Transport:   inj.RoundTripper(fmt.Sprintf("org-%d", i), nil),
 			})
 			errs[i] = settleMember(settleCtx, client, accounts[i], i, profile[i])

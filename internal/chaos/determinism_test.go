@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tradefl/internal/verify"
+)
+
+// TestSeededSoakDeterministicUnderVerify is the acceptance run for the
+// audit subsystem: two chaos soaks from the same spec, with the runtime
+// invariant auditor enabled, must agree bit-for-bit on every seed-derived
+// outcome and record zero violations. Wall-clock fields (elapsed times)
+// are the only legitimate difference between the runs.
+func TestSeededSoakDeterministicUnderVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	a := verify.Enable(verify.Options{})
+	defer verify.Disable()
+
+	run := func() *Report {
+		opts, err := ParseSpec("seed=11,drop=0.1,dup=0.05,rpcfail=0.05,rpclost=0.05,orgs=3,game=5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		rep, err := Run(ctx, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	r1 := run()
+	r2 := run()
+
+	if a.Checks() == 0 {
+		t.Fatal("auditor ran no checks during the soaks — hooks not wired")
+	}
+	if a.Count() != 0 {
+		t.Errorf("auditor recorded violations on clean soaks:\n%s", a.Summary())
+	}
+	if len(r1.Profile) != len(r2.Profile) {
+		t.Fatalf("profile lengths differ: %d vs %d", len(r1.Profile), len(r2.Profile))
+	}
+	for i := range r1.Profile {
+		if r1.Profile[i] != r2.Profile[i] {
+			t.Errorf("org %d strategy differs between runs: %+v vs %+v", i, r1.Profile[i], r2.Profile[i])
+		}
+	}
+	if r1.ProfileMatches != r2.ProfileMatches || r1.IsNash != r2.IsNash {
+		t.Errorf("equilibrium verdicts differ: (%v,%v) vs (%v,%v)",
+			r1.ProfileMatches, r1.IsNash, r2.ProfileMatches, r2.IsNash)
+	}
+	if r1.PotentialGap != r2.PotentialGap {
+		t.Errorf("potential gaps differ: %g vs %g", r1.PotentialGap, r2.PotentialGap)
+	}
+	if r1.BudgetResidual != r2.BudgetResidual {
+		t.Errorf("budget residuals differ: %d vs %d wei", r1.BudgetResidual, r2.BudgetResidual)
+	}
+	if r1.Settled != r2.Settled || r1.ChainVerified != r2.ChainVerified {
+		t.Errorf("settlement outcomes differ: (%v,%v) vs (%v,%v)",
+			r1.Settled, r1.ChainVerified, r2.Settled, r2.ChainVerified)
+	}
+}

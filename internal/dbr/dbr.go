@@ -276,5 +276,6 @@ func Solve(cfg *game.Config, start game.Profile, opts Options) (*Result, error) 
 	mPotential.Set(cfg.Potential(p))
 	mWelfare.Set(cfg.SocialWelfare(p))
 	obs.RecordTrajectory("dbr.potential", res.PotentialTrace)
+	audit(cfg, res, opts)
 	return res, nil
 }

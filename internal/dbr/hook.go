@@ -1,0 +1,31 @@
+package dbr
+
+import (
+	"sync/atomic"
+
+	"tradefl/internal/game"
+)
+
+// AuditFunc observes every completed local Solve: the validated config,
+// the final result, and the resolved options (defaults applied, so Tol is
+// the effective move threshold). internal/verify installs one to audit the
+// DBR invariants — potential monotonicity along the best-response path and
+// the Nash property of a converged profile — without this package
+// importing the auditor.
+type AuditFunc func(cfg *game.Config, res *Result, opts Options)
+
+// auditHook holds the installed AuditFunc (possibly a nil function value;
+// atomic.Value cannot store untyped nil).
+var auditHook atomic.Value
+
+// SetAuditHook installs fn as the post-Solve audit observer; nil removes
+// it. The hook runs synchronously on the solving goroutine after the
+// result is fully assembled, so it must not call Solve re-entrantly.
+func SetAuditHook(fn AuditFunc) { auditHook.Store(fn) }
+
+// audit invokes the installed hook, if any.
+func audit(cfg *game.Config, res *Result, opts Options) {
+	if fn, _ := auditHook.Load().(AuditFunc); fn != nil {
+		fn(cfg, res, opts)
+	}
+}

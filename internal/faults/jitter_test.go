@@ -1,0 +1,52 @@
+package faults
+
+import "testing"
+
+// TestJitterSeedDeterministic pins the contract chain.ClientOptions relies
+// on: the jitter seed is a pure function of (plan seed, lane) — stable
+// across injector instances, distinct per lane and per plan seed, and
+// never the "unseeded" sentinel 0.
+func TestJitterSeedDeterministic(t *testing.T) {
+	plan := Plan{Seed: 7, RPCFail: 0.1}
+	inj1, err := NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inj1.Close()
+	inj2, err := NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inj2.Close()
+
+	seedOf := func(inj *Injector, lane string) int64 {
+		rt, ok := inj.RoundTripper(lane, nil).(*faultyRoundTripper)
+		if !ok {
+			t.Fatal("RoundTripper is not the fault-injecting transport")
+		}
+		return rt.JitterSeed()
+	}
+
+	a := seedOf(inj1, "org-0")
+	if a == 0 {
+		t.Fatal("jitter seed is the unseeded sentinel 0")
+	}
+	if b := seedOf(inj2, "org-0"); b != a {
+		t.Errorf("same plan+lane gave different seeds: %d vs %d", a, b)
+	}
+	if b := seedOf(inj1, "org-0"); b != a {
+		t.Errorf("repeated derivation drifted: %d vs %d", a, b)
+	}
+	if b := seedOf(inj1, "org-1"); b == a {
+		t.Error("distinct lanes share a jitter seed")
+	}
+
+	other, err := NewInjector(Plan{Seed: 8, RPCFail: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if b := seedOf(other, "org-0"); b == a {
+		t.Error("distinct plan seeds share a jitter seed")
+	}
+}

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 )
@@ -24,6 +25,24 @@ func (inj *Injector) RoundTripper(lane string, base http.RoundTripper) http.Roun
 		base = http.DefaultTransport
 	}
 	return &faultyRoundTripper{base: base, inj: inj, lane: "rpc:" + lane}
+}
+
+// JitterSeed returns a deterministic seed derived from the injector's plan
+// seed and this transport's lane (Plan.Seed XOR FNV-1a("jitter:"+lane),
+// never 0). Seed-aware consumers — chain.ClientOptions probes its Transport
+// for exactly this method — use it to drive their retry-backoff jitter from
+// the run seed instead of the wall clock, so a chaos run is reproducible
+// from its seed alone. The "jitter:" domain prefix keeps the stream
+// disjoint from the lane's fault-decision stream.
+func (f *faultyRoundTripper) JitterSeed() int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte("jitter:" + f.lane))
+	seed := f.inj.plan.Seed ^ int64(h.Sum64())
+	if seed == 0 {
+		// 0 means "unseeded" to consumers; remap to a fixed nonzero value.
+		seed = int64(h.Sum64()) | 1
+	}
+	return seed
 }
 
 func (f *faultyRoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {

@@ -142,7 +142,7 @@ func (c *Config) Validate() error {
 			if v < 0 || v > 1 {
 				return fmt.Errorf("game config: rho[%d][%d] = %v outside [0,1]", i, j, v)
 			}
-			if math.Abs(v-c.Rho[j][i]) > 1e-12 {
+			if math.Abs(v-c.Rho[j][i]) > TolRhoSymmetry {
 				return fmt.Errorf("game config: rho not symmetric at (%d,%d)", i, j)
 			}
 		}
@@ -221,7 +221,7 @@ func (c *Config) NormalizeRho(margin float64) float64 {
 		changed := false
 		for i := range c.Orgs {
 			limit := (1 - margin) * c.Orgs[i].Profitability
-			if sum := rowSum(i); sum > limit+1e-12*limit {
+			if sum := rowSum(i); sum > limit+TolRelative*limit {
 				factors[i] *= limit / sum
 				changed = true
 			}
@@ -236,7 +236,7 @@ func (c *Config) NormalizeRho(margin float64) float64 {
 			minFactor = f
 		}
 	}
-	if minFactor >= 1-1e-12 {
+	if minFactor >= 1-TolRelative {
 		return 1
 	}
 	for i := 0; i < n; i++ {
@@ -449,12 +449,12 @@ func (c *Config) FeasibleD(i int, f float64) (lo, hi float64, ok bool) {
 // ValidStrategy reports whether π_i satisfies constraints C^(1)-C^(3) for
 // organization i: d in range, f a listed CPU level, deadline met.
 func (c *Config) ValidStrategy(i int, s Strategy) error {
-	if s.D < c.DMin-1e-12 || s.D > 1+1e-12 {
+	if s.D < c.DMin-TolDataFraction || s.D > 1+TolDataFraction {
 		return fmt.Errorf("org %d: d=%v outside [%v, 1]", i, s.D, c.DMin)
 	}
 	found := false
 	for _, f := range c.Orgs[i].CPULevels {
-		if math.Abs(f-s.F) <= 1e-6*f {
+		if MatchesCPULevel(f, s.F) {
 			found = true
 			break
 		}
@@ -463,7 +463,7 @@ func (c *Config) ValidStrategy(i int, s Strategy) error {
 		return fmt.Errorf("org %d: f=%v not a listed CPU level", i, s.F)
 	}
 	o := c.Orgs[i]
-	if slack := o.Comm.DeadlineSlack(s.D, o.DataBits, s.F, c.Deadline); slack < -1e-9 {
+	if slack := o.Comm.DeadlineSlack(s.D, o.DataBits, s.F, c.Deadline); slack < -TolDeadlineSec {
 		return fmt.Errorf("org %d: deadline violated by %v s", i, -slack)
 	}
 	return nil

@@ -1,0 +1,52 @@
+package game
+
+// Float-comparison tolerances of the game package, unified in one place so
+// validation, normalization and the verify subsystem agree on what counts
+// as "equal". Before this file each call site hand-picked its own epsilon
+// (a mix of 1e-12, 1e-9 and 1e-6, some absolute, some relative), which made
+// the invariant audits of internal/verify impossible to state precisely.
+const (
+	// TolRhoSymmetry is the absolute tolerance on |ρ_ij − ρ_ji|; ρ entries
+	// live in [0, 1], so an absolute check is scale-correct.
+	TolRhoSymmetry = 1e-12
+
+	// TolRelative is the generic relative tolerance used where a quantity
+	// is compared against a same-scale reference (e.g. the NormalizeRho
+	// row-sum cap).
+	TolRelative = 1e-12
+
+	// TolDataFraction is the absolute slack on the data fraction d ∈ [0, 1]
+	// when validating strategy bounds.
+	TolDataFraction = 1e-12
+
+	// TolDeadlineSec is the absolute slack, in seconds, tolerated on the
+	// per-round deadline constraint C^(3).
+	TolDeadlineSec = 1e-9
+
+	// TolCPURel is the relative tolerance when matching a strategy's CPU
+	// frequency against a listed grid level (levels are O(GHz), so a purely
+	// absolute check would be scale-wrong).
+	TolCPURel = 1e-6
+
+	// TolCPUAbsHz is the absolute floor, in Hz, of the CPU-level match. A
+	// purely relative check |f − s.F| ≤ TolCPURel·f can never match when
+	// the grid level f is 0 (the tolerance collapses to zero), so the match
+	// uses TolCPUAbsHz + TolCPURel·|f|. At the 3-5 GHz grids of Table II
+	// the floor is twelve orders of magnitude below the level spacing and
+	// never changes a verdict.
+	TolCPUAbsHz = 1e-3
+)
+
+// MatchesCPULevel reports whether a strategy frequency f matches the listed
+// grid level: |level − f| ≤ TolCPUAbsHz + TolCPURel·|level|.
+func MatchesCPULevel(level, f float64) bool {
+	diff := level - f
+	if diff < 0 {
+		diff = -diff
+	}
+	abs := level
+	if abs < 0 {
+		abs = -abs
+	}
+	return diff <= TolCPUAbsHz+TolCPURel*abs
+}

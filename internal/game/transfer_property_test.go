@@ -1,0 +1,83 @@
+package game
+
+// Property tests for the transfer matrix invariants the verify subsystem
+// audits at runtime: bit-exact antisymmetry of pairwise transfers and
+// relative-tolerance budget balance — with personalization enabled, which
+// reweights payoffs but must leave Definition 5 untouched.
+
+import (
+	"math"
+	"testing"
+
+	"tradefl/internal/randx"
+)
+
+// randomPersonalizedConfig draws a random instance with personalization on.
+func randomPersonalizedConfig(t *testing.T, seed int64, src *randx.Source) *Config {
+	t.Helper()
+	n := 3 + src.Intn(5)
+	cfg, err := DefaultConfig(GenOptions{N: n, Seed: seed})
+	if err != nil {
+		t.Fatalf("DefaultConfig: %v", err)
+	}
+	cfg.Personal = Personalization{
+		Alpha:      src.Uniform(0.05, 0.9),
+		LocalBoost: src.Uniform(0.5, 2),
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return cfg
+}
+
+// TestTransferAntisymmetryBitExactUnderPersonalization asserts the strong
+// form of antisymmetry: r_ij == -r_ji to the bit, not merely within a
+// tolerance. With a bit-symmetric ρ the two transfers differ only by the
+// sign of the (x_i − x_j) factor, and IEEE-754 negation-via-subtraction is
+// exact, so any inequality is a real defect. This is exactly the check
+// verify.CheckTransfers applies on its fast path.
+func TestTransferAntisymmetryBitExactUnderPersonalization(t *testing.T) {
+	src := randx.New(31)
+	for trial := 0; trial < 25; trial++ {
+		cfg := randomPersonalizedConfig(t, 200+int64(trial), src)
+		p := randomProfile(cfg, src)
+		for i := 0; i < cfg.N(); i++ {
+			for j := 0; j < cfg.N(); j++ {
+				rij, rji := cfg.Transfer(i, j, p), cfg.Transfer(j, i, p)
+				if rij != -rji {
+					t.Fatalf("trial %d: r_%d%d = %v, -r_%d%d = %v differ by %g",
+						trial, i, j, rij, j, i, -rji, rij+rji)
+				}
+			}
+		}
+	}
+}
+
+// TestBudgetBalanceRelativeUnderPersonalization checks Σ_i R_i = 0 with a
+// tolerance relative to the gross transfer volume: summation order is not
+// pairwise, so the residual scales with Σ|R_i|, and an absolute threshold
+// would either miss real leaks on large instances or false-positive on
+// high-γ ones. Personalization must not change the balance — transfers do
+// not depend on α or the boost.
+func TestBudgetBalanceRelativeUnderPersonalization(t *testing.T) {
+	src := randx.New(32)
+	for trial := 0; trial < 25; trial++ {
+		cfg := randomPersonalizedConfig(t, 300+int64(trial), src)
+		p := randomProfile(cfg, src)
+		var gross float64
+		for i := 0; i < cfg.N(); i++ {
+			gross += math.Abs(cfg.Redistribution(i, p))
+		}
+		if sum := cfg.CheckBudgetBalance(p); math.Abs(sum) > 1e-9*math.Max(1, gross) {
+			t.Fatalf("trial %d: ΣR_i = %g exceeds 1e-9 of gross volume %g", trial, sum, gross)
+		}
+		// The base model (personalization off) must balance identically on
+		// the same profile.
+		base := *cfg
+		base.Personal = Personalization{}
+		if bb := base.CheckBudgetBalance(p); bb != cfg.CheckBudgetBalance(p) {
+			t.Fatalf("trial %d: personalization changed the budget residual: %g vs %g",
+				trial, cfg.CheckBudgetBalance(p), bb)
+		}
+	}
+}

@@ -300,6 +300,7 @@ func Solve(cfg *game.Config, opts Options) (*Result, error) {
 	res.Profile = best
 	res.Potential = lb
 	s.publish(res, ub-lb)
+	audit(cfg, res, opts)
 	return res, nil
 }
 

@@ -10,6 +10,7 @@ package optimize
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -114,25 +115,71 @@ func Clip(x, lo, hi float64) float64 {
 	}
 }
 
+// Explicit defaults of PGOptions. A zero-valued field selects the matching
+// constant; to request an actual zero, pass the Zero* sentinel instead.
+const (
+	// DefaultPGMaxIter is the default iteration bound.
+	DefaultPGMaxIter = 2000
+	// DefaultPGTol is the default projected-step stopping tolerance.
+	DefaultPGTol = 1e-9
+	// DefaultPGStep0 is the default initial step size.
+	DefaultPGStep0 = 1.0
+)
+
+// Zero-request sentinels for PGOptions float fields. The zero value of a
+// field means "use the default", so an actual zero must be spelled
+// explicitly; the smallest subnormal double is behaviourally identical to
+// zero here (no representable step is shorter than ZeroTol, and a ZeroStep0
+// step moves no coordinate) while remaining distinguishable from unset.
+const (
+	// ZeroTol requests a zero stopping tolerance: the search stops only on
+	// MaxIter, a zero projected step, or step-size collapse.
+	ZeroTol = math.SmallestNonzeroFloat64
+	// ZeroStep0 requests a zero initial step: the first projected move
+	// rounds to no displacement and the search returns the projected start.
+	ZeroStep0 = math.SmallestNonzeroFloat64
+)
+
+// ErrNegativeOption reports a PGOptions field set to a negative value.
+// Negative tolerances and step sizes used to pass through silently (a
+// negative Step0 walks downhill); they are now rejected up front.
+var ErrNegativeOption = errors.New("optimize: negative option value")
+
 // PGOptions configures ProjectedGradient.
 type PGOptions struct {
-	// MaxIter bounds the iteration count (default 2000).
+	// MaxIter bounds the iteration count (0 = DefaultPGMaxIter; negative is
+	// rejected).
 	MaxIter int
-	// Tol stops when the projected step is shorter than Tol (default 1e-9).
+	// Tol stops when the projected step is shorter than Tol (0 =
+	// DefaultPGTol; pass ZeroTol for an actual zero; negative is rejected).
 	Tol float64
-	// Step0 is the initial step size (default 1).
+	// Step0 is the initial step size (0 = DefaultPGStep0; pass ZeroStep0
+	// for an actual zero; negative is rejected).
 	Step0 float64
+}
+
+// validate rejects negative fields with ErrNegativeOption.
+func (o PGOptions) validate() error {
+	switch {
+	case o.MaxIter < 0:
+		return fmt.Errorf("%w: MaxIter %d", ErrNegativeOption, o.MaxIter)
+	case o.Tol < 0:
+		return fmt.Errorf("%w: Tol %v", ErrNegativeOption, o.Tol)
+	case o.Step0 < 0:
+		return fmt.Errorf("%w: Step0 %v", ErrNegativeOption, o.Step0)
+	}
+	return nil
 }
 
 func (o PGOptions) withDefaults() PGOptions {
 	if o.MaxIter == 0 {
-		o.MaxIter = 2000
+		o.MaxIter = DefaultPGMaxIter
 	}
 	if o.Tol == 0 {
-		o.Tol = 1e-9
+		o.Tol = DefaultPGTol
 	}
 	if o.Step0 == 0 {
-		o.Step0 = 1
+		o.Step0 = DefaultPGStep0
 	}
 	return o
 }
@@ -151,6 +198,9 @@ func ProjectedGradient(value func([]float64) float64, grad func([]float64, []flo
 	n := len(x0)
 	if len(lo) != n || len(hi) != n {
 		return nil, 0, ErrDimensionMismatch
+	}
+	if err := opts.validate(); err != nil {
+		return nil, 0, err
 	}
 	opts = opts.withDefaults()
 	x := make([]float64, n)
@@ -214,7 +264,8 @@ type WaterFillProblem struct {
 	W []float64
 	// Lo, Hi are the box bounds (Lo_i ≤ Hi_i required).
 	Lo, Hi []float64
-	// Tol is the bisection tolerance on Ω (default 1e-9·ΣHi).
+	// Tol is the bisection tolerance on Ω (0 = 1e-9·max(1, ΣHi); negative
+	// is rejected with ErrNegativeOption).
 	Tol float64
 }
 
@@ -236,6 +287,9 @@ func (p *WaterFillProblem) SolveInto(y []float64, order []int) ([]float64, float
 	n := len(p.W)
 	if len(p.Lo) != n || len(p.Hi) != n {
 		return nil, 0, ErrDimensionMismatch
+	}
+	if p.Tol < 0 {
+		return nil, 0, fmt.Errorf("%w: Tol %v", ErrNegativeOption, p.Tol)
 	}
 	for i := 0; i < n; i++ {
 		if p.Hi[i] < p.Lo[i] {

@@ -31,6 +31,15 @@ go test -race -run 'Delta|Engine|Incremental|ZeroAlloc|PrimalMemo|CutDomination'
   ./internal/game/ ./internal/dbr/ ./internal/gbd/
 BENCH_TIME=1x BENCH_COUNT=1 scripts/bench.sh >/dev/null
 
+echo "==> verify gate (invariant auditor under -race + mutation self-tests)"
+# The mutation suite injects one seeded violation per invariant family and
+# requires the matching check to fire: a silent auditor fails the gate, not
+# just a wrong one. The clean half (including the differential harness
+# cross-running CGBD against an independent exhaustive solver) runs under
+# -race because the hooks are installed process-globally.
+go test -race ./internal/verify/
+go test -count=1 -run Mutation ./internal/verify/
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -38,7 +47,7 @@ echo "==> diag smoke (tradefl-sim -diag-addr)"
 DIAG_ADDR="${DIAG_ADDR:-127.0.0.1:6161}"
 DIAG_BIN="$(mktemp -d)/tradefl-sim"
 go build -o "$DIAG_BIN" ./cmd/tradefl-sim
-"$DIAG_BIN" -fig fig5 -quick -summary none \
+"$DIAG_BIN" -fig fig5 -quick -summary none -verify \
   -diag-addr "$DIAG_ADDR" -diag-hold 60s >/dev/null &
 SIM_PID=$!
 trap 'kill "$SIM_PID" 2>/dev/null || true' EXIT
@@ -57,6 +66,12 @@ for name in tradefl_gbd_iterations_total tradefl_dbr_rounds_total tradefl_fl_rou
 done
 echo "$metrics" | grep -q '^tradefl_dbr_rounds_total [1-9]' \
   || { echo "diag smoke: tradefl_dbr_rounds_total still zero after a DBR run"; exit 1; }
+# -verify was armed above: the auditor must have run checks and found
+# nothing (a nonzero violation count would also fail the sim's exit code).
+echo "$metrics" | grep -q '^tradefl_verify_checks_total [1-9]' \
+  || { echo "diag smoke: tradefl_verify_checks_total zero with -verify armed"; exit 1; }
+echo "$metrics" | grep -q '^tradefl_verify_violations_total 0' \
+  || { echo "diag smoke: verify violations recorded on a clean run"; exit 1; }
 kill "$SIM_PID" 2>/dev/null || true
 wait "$SIM_PID" 2>/dev/null || true
 trap - EXIT
