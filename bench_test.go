@@ -23,6 +23,7 @@ import (
 	"tradefl/internal/fl/dataset"
 	"tradefl/internal/fl/model"
 	"tradefl/internal/fl/tensor"
+	"tradefl/internal/fleet"
 	"tradefl/internal/game"
 	"tradefl/internal/gbd"
 	"tradefl/internal/randx"
@@ -609,6 +610,68 @@ func BenchmarkTuneGamma(b *testing.B) {
 		gamma = res.Gamma
 	}
 	b.ReportMetric(gamma*1e9, "gamma*-e9")
+}
+
+// fleetBenchCorpus builds the 1024-instance mixed-N batch of the fleet
+// throughput benchmark: organization counts cycle through both sides of
+// the planner's solver crossovers (CGBD masters win small instances, DBR
+// wins large ones), so a fixed plan is wrong for most of the batch.
+func fleetBenchCorpus(b *testing.B, n int) []*game.Config {
+	b.Helper()
+	sizes := []int{4, 6, 8, 10, 12, 16}
+	cfgs := make([]*game.Config, n)
+	for i := range cfgs {
+		cfg, err := game.DefaultConfig(game.GenOptions{
+			N: sizes[i%len(sizes)], Seed: int64(i + 1), CPUSteps: 3, NoOrgName: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfgs[i] = cfg
+	}
+	return cfgs
+}
+
+// BenchmarkFleetSolve measures batch solving of 1024 mixed-N instances:
+// the naive baseline (a sequential loop over the canonical per-instance
+// CGBD solve, the pre-fleet idiom) against the fleet engine under the
+// cost-based auto planner and under each fixed plan. A fresh engine per
+// iteration keeps the warm result cache out of the numbers — the speedup
+// shown is pure planning plus batching, not memoization. The acceptance
+// floor (auto ≥ 3× naive solves/sec, auto within 10% of the best fixed
+// plan) is gated by scripts/benchcmp fleet-gate in ci.sh.
+func BenchmarkFleetSolve(b *testing.B) {
+	const instances = 1024
+	b.Run("naive-sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		cfgs := fleetBenchCorpus(b, instances)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range cfgs {
+				if _, err := gbd.Solve(cfg, gbd.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(instances*b.N)/b.Elapsed().Seconds(), "solves/sec")
+	})
+	for _, plan := range []fleet.Plan{fleet.PlanAuto, fleet.PlanDBR, fleet.PlanPruned} {
+		b.Run("plan="+plan.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			cfgs := fleetBenchCorpus(b, instances)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := fleet.New(fleet.Options{Plan: plan})
+				for _, r := range eng.Solve(ctx, cfgs) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(instances*b.N)/b.Elapsed().Seconds(), "solves/sec")
+		})
+	}
 }
 
 // BenchmarkScaling_DBR measures how Algorithm 2 scales with the number of

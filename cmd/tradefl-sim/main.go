@@ -51,6 +51,9 @@ func run(args []string) error {
 		quick    = fs.Bool("quick", false, "coarse sweeps and short FL runs")
 		out      = fs.String("out", "", "directory for CSV files (default stdout)")
 		plot     = fs.Bool("plot", false, "render terminal charts instead of CSV")
+		fleetN   = fs.Int("fleet", 0, "solve a synthetic batch of this many game instances through the fleet engine instead of an experiment")
+		planName = fs.String("plan", "auto", "fleet solver plan: auto|pruned|traversal|dbr (auto picks per instance by cost model)")
+		planProf = fs.String("plan-profile", "", "planner cost-profile JSON; loaded if present, else self-calibrated and saved")
 		workers  = fs.Int("workers", 0, "solver/kernel worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		incr     = fs.String("incremental", "on", "incremental evaluation engine: on|off (A/B; outputs are byte-identical)")
 		verifyOn = fs.Bool("verify", false, "audit solver and settlement invariants at runtime (tradefl_verify_* metrics; nonzero exit on violation)")
@@ -95,6 +98,20 @@ func run(args []string) error {
 			time.Sleep(*diagHold)
 		}
 		return rep.Err()
+	}
+	if *fleetN > 0 {
+		start := time.Now()
+		if err := runFleet(context.Background(), *fleetN, *planName, *planProf, *seed); err != nil {
+			return err
+		}
+		if err := printSummary(*summary, time.Since(start)); err != nil {
+			return err
+		}
+		if diag != nil && *diagHold > 0 {
+			obs.Component("sim").Info("holding diagnostics server", "addr", diag.Addr(), "hold", *diagHold)
+			time.Sleep(*diagHold)
+		}
+		return nil
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -176,6 +193,12 @@ func printSummary(mode string, wall time.Duration) error {
 		FLRounds      float64 `json:"flRounds"`
 		FLAccuracy    float64 `json:"flRoundAccuracy"`
 		PoolFanouts   float64 `json:"poolFanouts"`
+		FleetSolves   float64 `json:"fleetSolves"`
+		FleetRate     float64 `json:"fleetSolvesPerSec"`
+		FleetWarmHits float64 `json:"fleetWarmHits"`
+		FleetPlanDBR  float64 `json:"fleetPlanDBR"`
+		FleetPlanPrn  float64 `json:"fleetPlanPruned"`
+		FleetPlanTrv  float64 `json:"fleetPlanTraversal"`
 	}{
 		WallSeconds:   wall.Seconds(),
 		GBDRuns:       val("tradefl_gbd_runs_total"),
@@ -191,6 +214,12 @@ func printSummary(mode string, wall time.Duration) error {
 		FLRounds:      val("tradefl_fl_rounds_total"),
 		FLAccuracy:    val("tradefl_fl_round_accuracy"),
 		PoolFanouts:   val("tradefl_pool_fanouts_total"),
+		FleetSolves:   val("tradefl_fleet_instances_total"),
+		FleetRate:     val("tradefl_fleet_solves_per_sec"),
+		FleetWarmHits: val("tradefl_fleet_warm_hits_total"),
+		FleetPlanDBR:  val("tradefl_fleet_plan_dbr_total"),
+		FleetPlanPrn:  val("tradefl_fleet_plan_pruned_total"),
+		FleetPlanTrv:  val("tradefl_fleet_plan_traversal_total"),
 	}
 	if mode == "json" {
 		enc := json.NewEncoder(os.Stdout)
@@ -204,5 +233,9 @@ func printSummary(mode string, wall time.Duration) error {
 		sum.DBRRuns, sum.DBRRounds, sum.DBRMoves, sum.DBRWelfare)
 	fmt.Fprintf(w, "fl:   %.0f rounds, last accuracy %.4f\n", sum.FLRounds, sum.FLAccuracy)
 	fmt.Fprintf(w, "pool: %.0f fan-outs\n", sum.PoolFanouts)
+	if sum.FleetSolves > 0 {
+		fmt.Fprintf(w, "fleet: %.0f solves at %.0f/sec (plans dbr=%.0f pruned=%.0f traversal=%.0f, warm hits=%.0f)\n",
+			sum.FleetSolves, sum.FleetRate, sum.FleetPlanDBR, sum.FleetPlanPrn, sum.FleetPlanTrv, sum.FleetWarmHits)
+	}
 	return nil
 }

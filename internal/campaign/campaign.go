@@ -14,7 +14,7 @@ import (
 	"fmt"
 
 	"tradefl/internal/core"
-	"tradefl/internal/dbr"
+	"tradefl/internal/fleet"
 	"tradefl/internal/game"
 	"tradefl/internal/randx"
 )
@@ -48,6 +48,14 @@ type Config struct {
 	Seed int64
 	// Tune passes through TuneGamma options for GammaAdaptive.
 	Tune core.TuneOptions
+	// Plan selects the solver for the per-epoch re-solves, which run
+	// through a single fleet engine so warm solver state (pooled engines,
+	// CGBD scratch and cut tables) survives across epochs. The zero value
+	// keeps the campaign's historical solver, distributed best response;
+	// cost-based auto planning is not offered here because every epoch
+	// shares one instance shape, so the planner would pick one plan for the
+	// whole campaign anyway — name it explicitly instead.
+	Plan fleet.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +73,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Plan == fleet.PlanAuto {
+		c.Plan = fleet.PlanDBR
 	}
 	return c
 }
@@ -116,6 +127,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	src := randx.New(cfg.Seed)
 	current := cloneConfig(cfg.Base)
+	// One fleet engine for the whole campaign: pooled solver engines and
+	// CGBD scratch survive across epochs, and the per-epoch results stay
+	// byte-identical to cold solves (the engine's determinism contract —
+	// asserted by TestCampaignFleetByteIdentical).
+	eng := fleet.New(fleet.Options{Plan: cfg.Plan})
 	res := &Result{CumulativeTransfers: make([]float64, current.N())}
 	var welfareSum float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
@@ -135,9 +151,9 @@ func Run(cfg Config) (*Result, error) {
 			gamma = tuned.Gamma
 			current.Gamma = gamma
 		}
-		solved, err := dbr.Solve(current, nil, dbr.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("campaign epoch %d: %w", epoch, err)
+		solved := eng.SolveOne(current)
+		if solved.Err != nil {
+			return nil, fmt.Errorf("campaign epoch %d: %w", epoch, solved.Err)
 		}
 		er := EpochResult{
 			Epoch:     epoch,

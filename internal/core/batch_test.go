@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"tradefl/internal/fleet"
+	"tradefl/internal/game"
+)
+
+// TestRunBatchMatchesMechanism: the fleet batch path reports the same
+// profile, payoffs and welfare as a per-instance Mechanism.Run with the
+// matching solver.
+func TestRunBatchMatchesMechanism(t *testing.T) {
+	var cfgs []*game.Config
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg, err := game.DefaultConfig(game.GenOptions{Seed: seed, N: 5, NoOrgName: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	batch := RunBatch(context.Background(), cfgs, fleet.Options{Plan: fleet.PlanDBR, Workers: 2})
+	for i, b := range batch {
+		if b.Fleet.Err != nil {
+			t.Fatalf("instance %d: %v", i, b.Fleet.Err)
+		}
+		m, err := New(cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := m.Run(context.Background(), Options{Solver: SolverDBR})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(b.Fleet.Profile, ref.Profile) {
+			t.Fatalf("instance %d: batch profile differs from Mechanism.Run", i)
+		}
+		if !reflect.DeepEqual(b.Payoffs, ref.Payoffs) || b.SocialWelfare != ref.SocialWelfare {
+			t.Fatalf("instance %d: batch payoffs/welfare differ from Mechanism.Run", i)
+		}
+	}
+}
+
+// TestRunBatchPerInstanceError: a failing instance does not poison the
+// batch and carries no mechanism quantities.
+func TestRunBatchPerInstanceError(t *testing.T) {
+	good, err := game.DefaultConfig(game.GenOptions{Seed: 1, N: 4, NoOrgName: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := RunBatch(context.Background(), []*game.Config{good, {}}, fleet.Options{Workers: 1})
+	if batch[0].Fleet.Err != nil || batch[0].Payoffs == nil {
+		t.Fatalf("valid instance failed: %+v", batch[0].Fleet.Err)
+	}
+	if batch[1].Fleet.Err == nil || batch[1].Payoffs != nil {
+		t.Fatal("invalid instance did not fail cleanly")
+	}
+}

@@ -9,32 +9,84 @@ import (
 	"tradefl/internal/game"
 )
 
+// Default values filled in when a TuneOptions field is left at zero. The
+// zero value means the default, not the constant; to request an actual
+// zero where zero is meaningful (Refine), pass the sentinel instead.
+const (
+	// DefaultTuneLo is the default lower bound of the γ search interval.
+	DefaultTuneLo = 1e-10
+	// DefaultTuneHi is the default upper bound of the γ search interval.
+	DefaultTuneHi = 2e-7
+	// DefaultTuneCoarse is the default number of log-spaced coarse probes.
+	DefaultTuneCoarse = 12
+	// DefaultTuneRefine is the default number of golden-section refinement
+	// steps.
+	DefaultTuneRefine = 20
+)
+
+// ZeroTuneRefine requests zero refinement steps — a coarse sweep only,
+// useful for quick scans. The int analogue of optimize's Zero* float
+// sentinels: Refine's zero value means "default", so an explicit zero
+// needs a distinguishable encoding, and every other negative is rejected.
+const ZeroTuneRefine = math.MinInt
+
+// ErrNegativeTuneOption reports a TuneOptions field set to a negative
+// value. Negative Coarse used to pass through withDefaults unvalidated
+// (a negative probe count panics on the probe-slice allocation); negative
+// values are now rejected up front, mirroring optimize.PGOptions.
+var ErrNegativeTuneOption = errors.New("tradefl: tune: negative option value")
+
 // TuneOptions configures TuneGamma.
 type TuneOptions struct {
-	// Lo, Hi bound the γ search interval (defaults 1e-10, 2e-7).
+	// Lo, Hi bound the γ search interval (0 = DefaultTuneLo/DefaultTuneHi;
+	// negative is rejected; 0 < Lo < Hi is required after defaults).
 	Lo, Hi float64
-	// Coarse is the number of log-spaced probes before refinement
-	// (default 12).
+	// Coarse is the number of log-spaced probes before refinement (0 =
+	// DefaultTuneCoarse; at least 2 probes are required — the grid spacing
+	// divides by Coarse−1; negative is rejected).
 	Coarse int
 	// Refine is the number of golden-section refinement steps around the
-	// best coarse probe (default 20).
+	// best coarse probe (0 = DefaultTuneRefine; pass ZeroTuneRefine to
+	// skip refinement entirely; other negatives are rejected).
 	Refine int
 	// DBR passes through Algorithm 2 options.
 	DBR dbr.Options
 }
 
+// validate rejects negative fields with ErrNegativeTuneOption and
+// un-runnable probe counts. It runs before defaulting, so explicit invalid
+// values cannot hide behind the zero-means-default convention.
+func (o TuneOptions) validate() error {
+	switch {
+	case o.Lo < 0:
+		return fmt.Errorf("%w: Lo %v", ErrNegativeTuneOption, o.Lo)
+	case o.Hi < 0:
+		return fmt.Errorf("%w: Hi %v", ErrNegativeTuneOption, o.Hi)
+	case o.Coarse < 0:
+		return fmt.Errorf("%w: Coarse %d", ErrNegativeTuneOption, o.Coarse)
+	case o.Coarse == 1:
+		return errors.New("tradefl: tune: Coarse must be at least 2 probes")
+	case o.Refine < 0 && o.Refine != ZeroTuneRefine:
+		return fmt.Errorf("%w: Refine %d", ErrNegativeTuneOption, o.Refine)
+	}
+	return nil
+}
+
 func (o TuneOptions) withDefaults() TuneOptions {
 	if o.Lo == 0 {
-		o.Lo = 1e-10
+		o.Lo = DefaultTuneLo
 	}
 	if o.Hi == 0 {
-		o.Hi = 2e-7
+		o.Hi = DefaultTuneHi
 	}
 	if o.Coarse == 0 {
-		o.Coarse = 12
+		o.Coarse = DefaultTuneCoarse
 	}
-	if o.Refine == 0 {
-		o.Refine = 20
+	switch o.Refine {
+	case 0:
+		o.Refine = DefaultTuneRefine
+	case ZeroTuneRefine:
+		o.Refine = 0
 	}
 	return o
 }
@@ -62,6 +114,9 @@ type GammaProbe struct {
 // search on log γ around the best probe. The mechanism's config is not
 // mutated.
 func (m *Mechanism) TuneGamma(opts TuneOptions) (*TuneResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	if opts.Lo <= 0 || opts.Hi <= opts.Lo {
 		return nil, errors.New("tradefl: tune: need 0 < Lo < Hi")
@@ -94,33 +149,36 @@ func (m *Mechanism) TuneGamma(opts TuneOptions) (*TuneResult, error) {
 			bestW, bestIdx = w, k
 		}
 	}
-	// Golden-section refinement on log γ between the probe's neighbours.
-	lo := coarse[maxInt(0, bestIdx-1)]
-	hi := coarse[minInt(opts.Coarse-1, bestIdx+1)]
-	a, b := math.Log(lo), math.Log(hi)
-	const invPhi = 0.6180339887498949
-	c := b - invPhi*(b-a)
-	d := a + invPhi*(b-a)
-	fc, err := eval(math.Exp(c))
-	if err != nil {
-		return nil, err
-	}
-	fd, err := eval(math.Exp(d))
-	if err != nil {
-		return nil, err
-	}
-	for step := 0; step < opts.Refine && b-a > 1e-3; step++ {
-		if fc >= fd {
-			b, d, fd = d, c, fc
-			c = b - invPhi*(b-a)
-			if fc, err = eval(math.Exp(c)); err != nil {
-				return nil, err
-			}
-		} else {
-			a, c, fc = c, d, fd
-			d = a + invPhi*(b-a)
-			if fd, err = eval(math.Exp(d)); err != nil {
-				return nil, err
+	// Golden-section refinement on log γ between the probe's neighbours
+	// (skipped entirely at Refine 0, i.e. ZeroTuneRefine: coarse sweep only).
+	if opts.Refine > 0 {
+		lo := coarse[maxInt(0, bestIdx-1)]
+		hi := coarse[minInt(opts.Coarse-1, bestIdx+1)]
+		a, b := math.Log(lo), math.Log(hi)
+		const invPhi = 0.6180339887498949
+		c := b - invPhi*(b-a)
+		d := a + invPhi*(b-a)
+		fc, err := eval(math.Exp(c))
+		if err != nil {
+			return nil, err
+		}
+		fd, err := eval(math.Exp(d))
+		if err != nil {
+			return nil, err
+		}
+		for step := 0; step < opts.Refine && b-a > 1e-3; step++ {
+			if fc >= fd {
+				b, d, fd = d, c, fc
+				c = b - invPhi*(b-a)
+				if fc, err = eval(math.Exp(c)); err != nil {
+					return nil, err
+				}
+			} else {
+				a, c, fc = c, d, fd
+				d = a + invPhi*(b-a)
+				if fd, err = eval(math.Exp(d)); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

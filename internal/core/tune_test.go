@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"tradefl/internal/dbr"
@@ -45,6 +46,60 @@ func TestTuneGammaValidation(t *testing.T) {
 	}
 	if _, err := m.TuneGamma(TuneOptions{Lo: -1, Hi: 1e-8}); err == nil {
 		t.Error("accepted negative Lo")
+	}
+}
+
+// TestTuneOptionsNegativeRejected: negative Coarse/Refine/Lo/Hi must be
+// rejected with ErrNegativeTuneOption instead of passing through
+// withDefaults unvalidated (negative Coarse used to panic on the probe
+// allocation; negative Refine silently meant "no refinement").
+func TestTuneOptionsNegativeRejected(t *testing.T) {
+	m := mechanism(t, 7)
+	for name, opts := range map[string]TuneOptions{
+		"coarse": {Coarse: -3},
+		"refine": {Refine: -5},
+		"lo":     {Lo: -1e-9},
+		"hi":     {Hi: -2e-7},
+	} {
+		_, err := m.TuneGamma(opts)
+		if !errors.Is(err, ErrNegativeTuneOption) {
+			t.Errorf("%s: got %v, want ErrNegativeTuneOption", name, err)
+		}
+	}
+	// Coarse 1 is non-negative but cannot produce a log-spaced grid
+	// (spacing divides by Coarse−1).
+	if _, err := m.TuneGamma(TuneOptions{Coarse: 1}); err == nil {
+		t.Error("accepted Coarse = 1")
+	}
+}
+
+// TestTuneOptionsZeroSentinel: ZeroTuneRefine requests an actual zero
+// refinement (coarse sweep only), distinguishable from the zero value's
+// "use the default" meaning.
+func TestTuneOptionsZeroSentinel(t *testing.T) {
+	m := mechanism(t, 7)
+	coarseOnly, err := m.TuneGamma(TuneOptions{Coarse: 6, Refine: ZeroTuneRefine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(coarseOnly.Probes); got != 6 {
+		t.Errorf("coarse-only sweep evaluated %d probes, want exactly Coarse = 6", got)
+	}
+	refined, err := m.TuneGamma(TuneOptions{Coarse: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(refined.Probes); got <= 6 {
+		t.Errorf("zero-value Refine must mean the default, got %d probes (no refinement ran)", got)
+	}
+}
+
+// TestTuneOptionsDefaults pins the documented default constants.
+func TestTuneOptionsDefaults(t *testing.T) {
+	o := TuneOptions{}.withDefaults()
+	if o.Lo != DefaultTuneLo || o.Hi != DefaultTuneHi ||
+		o.Coarse != DefaultTuneCoarse || o.Refine != DefaultTuneRefine {
+		t.Errorf("withDefaults = %+v, want the DefaultTune* constants", o)
 	}
 }
 

@@ -53,21 +53,23 @@ func acquireEngine(cfg *game.Config) *Engine {
 
 func releaseEngine(e *Engine) { enginePool.Put(e) }
 
-// reset rebinds the engine to cfg, reusing scratch when possible. A pooled
-// engine that comes back for the same config skips the evaluator rebuild.
+// reset rebinds the engine to cfg, reusing scratch when possible. The
+// evaluator's static caches are always re-derived from the config's current
+// values: a pooled engine can come back for a config that was mutated in
+// place between solves (campaign.drift does exactly that), so a pointer
+// match proves nothing about the cached values. Reuse is allocation-level
+// only — the O(N²) rebuild is the price of correctness and is negligible
+// next to the scan it precedes.
 func (e *Engine) reset(cfg *game.Config) {
 	if cfg == nil {
 		return
 	}
-	if e.cfg == cfg && e.ev != nil {
-		mEngineHits.Inc()
-		return
-	}
-	mEngineMisses.Inc()
 	e.cfg = cfg
 	if e.ev == nil {
+		mEngineMisses.Inc()
 		e.ev = game.NewDeltaEvaluator(cfg)
 	} else {
+		mEngineHits.Inc()
 		e.ev.Reset(cfg)
 	}
 	maxLevels := 0

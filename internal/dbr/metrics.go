@@ -18,11 +18,14 @@ var (
 	mSolveSec   = obs.NewHistogram("tradefl_dbr_solve_seconds", "end-to-end wall time of DBR runs", obs.TimeBuckets)
 )
 
-// Incremental-engine cache telemetry: pooled-engine reuse (a hit skips the
-// DeltaEvaluator rebuild because the engine comes back for the same config).
+// Incremental-engine cache telemetry: pooled-engine reuse. A hit reuses a
+// pooled engine's allocations (evaluator arrays, candidate scratch); the
+// evaluator's static caches are still re-derived from the config on every
+// acquire, because the config may have been mutated in place between
+// solves.
 var (
-	mEngineHits   = obs.NewCounter("tradefl_cache_engine_hits_total", "pooled best-response engines reused for the same config (evaluator rebuild skipped)")
-	mEngineMisses = obs.NewCounter("tradefl_cache_engine_misses_total", "pooled best-response engines rebuilt for a new config")
+	mEngineHits   = obs.NewCounter("tradefl_cache_engine_hits_total", "pooled best-response engines reused (allocations recycled, caches re-derived)")
+	mEngineMisses = obs.NewCounter("tradefl_cache_engine_misses_total", "best-response engines built fresh (empty pool)")
 )
 
 var dbrLog = obs.Component("dbr")

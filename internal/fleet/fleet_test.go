@@ -1,0 +1,290 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"tradefl/internal/dbr"
+	"tradefl/internal/game"
+	"tradefl/internal/gbd"
+)
+
+func fleetConfig(t testing.TB, seed int64, n int) *game.Config {
+	t.Helper()
+	cfg, err := game.DefaultConfig(game.GenOptions{Seed: seed, N: n, CPUSteps: 3, NoOrgName: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// mixedCorpus builds a small batch spanning the planner's crossover region.
+func mixedCorpus(t testing.TB, copies int) []*game.Config {
+	t.Helper()
+	sizes := []int{4, 6, 8, 10}
+	var cfgs []*game.Config
+	for c := 0; c < copies; c++ {
+		for i, n := range sizes {
+			cfgs = append(cfgs, fleetConfig(t, int64(10*c+i+1), n))
+		}
+	}
+	return cfgs
+}
+
+// TestBatchMatchesOneAtATime is the core determinism contract: a batched
+// solve must be byte-identical to solving each instance alone through a
+// fresh engine, and to calling the underlying solver directly with the
+// plan the engine chose.
+func TestBatchMatchesOneAtATime(t *testing.T) {
+	cfgs := mixedCorpus(t, 2)
+	eng := New(Options{Workers: 4})
+	batch := eng.Solve(context.Background(), cfgs)
+	for i, r := range batch {
+		if r.Err != nil {
+			t.Fatalf("instance %d: %v", i, r.Err)
+		}
+		lone := New(Options{Workers: 1}).SolveOne(cfgs[i])
+		if lone.Err != nil {
+			t.Fatalf("instance %d lone: %v", i, lone.Err)
+		}
+		if lone.Plan != r.Plan {
+			t.Fatalf("instance %d: batch plan %s, lone plan %s", i, r.Plan, lone.Plan)
+		}
+		if !reflect.DeepEqual(r.Profile, lone.Profile) {
+			t.Fatalf("instance %d: batch profile differs from one-at-a-time", i)
+		}
+		// Direct solver, same plan.
+		var direct game.Profile
+		switch r.Plan {
+		case PlanDBR:
+			dres, err := dbr.Solve(cfgs[i], nil, dbr.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct = dres.Profile
+		default:
+			gres, err := gbd.Solve(cfgs[i], eng.gbdOpts(Decision{Plan: r.Plan, Workers: 1}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct = gres.Profile
+		}
+		if !reflect.DeepEqual(r.Profile, direct) {
+			t.Fatalf("instance %d (plan %s): batch profile differs from direct solver", i, r.Plan)
+		}
+	}
+}
+
+// TestFixedPlansMatchDirect checks every forced plan against the direct
+// solver call it is documented to be equivalent to.
+func TestFixedPlansMatchDirect(t *testing.T) {
+	cfgs := []*game.Config{fleetConfig(t, 3, 4), fleetConfig(t, 5, 6)}
+	for _, plan := range []Plan{PlanDBR, PlanPruned, PlanTraversal} {
+		eng := New(Options{Plan: plan, Workers: 2})
+		res := eng.Solve(context.Background(), cfgs)
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("%s instance %d: %v", plan, i, r.Err)
+			}
+			if r.Plan != plan {
+				t.Fatalf("%s instance %d: solved with %s", plan, i, r.Plan)
+			}
+			var direct game.Profile
+			if plan == PlanDBR {
+				dres, err := dbr.Solve(cfgs[i], nil, dbr.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct = dres.Profile
+			} else {
+				gres, err := gbd.Solve(cfgs[i], eng.gbdOpts(Decision{Plan: plan, Workers: 1}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct = gres.Profile
+			}
+			if !reflect.DeepEqual(r.Profile, direct) {
+				t.Fatalf("%s instance %d: profile differs from direct solver", plan, i)
+			}
+		}
+	}
+}
+
+// TestWarmResultReuse: re-solving an unchanged instance through the same
+// engine is served from the warm result cache, byte-identically.
+func TestWarmResultReuse(t *testing.T) {
+	cfg := fleetConfig(t, 7, 6)
+	eng := New(Options{Workers: 1})
+	first := eng.SolveOne(cfg)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.Warm {
+		t.Fatal("first solve cannot be warm")
+	}
+	second := eng.SolveOne(cfg)
+	if second.Err != nil {
+		t.Fatal(second.Err)
+	}
+	if !second.Warm {
+		t.Fatal("unchanged re-solve did not hit the warm result cache")
+	}
+	if !reflect.DeepEqual(first.Profile, second.Profile) {
+		t.Fatal("warm result differs from first solve")
+	}
+	// In-place drift (campaign pattern) must invalidate the memo and still
+	// match a cold solve bit for bit.
+	for i := range cfg.Orgs {
+		cfg.Orgs[i].Profitability *= 1.3
+	}
+	cfg.NormalizeRho(game.DefaultZMargin)
+	third := eng.SolveOne(cfg)
+	if third.Err != nil {
+		t.Fatal(third.Err)
+	}
+	if third.Warm {
+		t.Fatal("drifted instance served from stale warm result")
+	}
+	cold := New(Options{Workers: 1}).SolveOne(cfg)
+	if !reflect.DeepEqual(third.Profile, cold.Profile) {
+		t.Fatal("post-drift warm-scratch solve differs from cold solve")
+	}
+}
+
+// TestBatchDuplicatePointers: the same instance appearing many times in
+// one concurrent batch must produce identical results at every position
+// (warm ownership transfer, no races — run under -race in CI).
+func TestBatchDuplicatePointers(t *testing.T) {
+	cfg := fleetConfig(t, 11, 6)
+	cfgs := make([]*game.Config, 16)
+	for i := range cfgs {
+		cfgs[i] = cfg
+	}
+	res := New(Options{Workers: 8}).Solve(context.Background(), cfgs)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("instance %d: %v", i, r.Err)
+		}
+		if r.Plan != res[0].Plan {
+			t.Fatalf("instance %d: plan %s differs from position 0 (%s)", i, r.Plan, res[0].Plan)
+		}
+		if !reflect.DeepEqual(r.Profile, res[0].Profile) {
+			t.Fatalf("instance %d: duplicate instance produced a different profile", i)
+		}
+	}
+}
+
+// TestContextCancel: a cancelled batch marks unscheduled instances with
+// the context error instead of returning zero-valued results.
+func TestContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := New(Options{Workers: 2}).Solve(ctx, mixedCorpus(t, 1))
+	for i, r := range res {
+		if r.Err == nil {
+			t.Fatalf("instance %d: no error after pre-cancelled batch", i)
+		}
+	}
+}
+
+// TestPerInstanceError: one invalid instance fails alone; the rest of the
+// batch still solves.
+func TestPerInstanceError(t *testing.T) {
+	cfgs := []*game.Config{fleetConfig(t, 1, 4), {}, fleetConfig(t, 2, 6)}
+	res := New(Options{Workers: 1}).Solve(context.Background(), cfgs)
+	if res[1].Err == nil {
+		t.Fatal("empty config solved without error")
+	}
+	for _, i := range []int{0, 2} {
+		if res[i].Err != nil {
+			t.Fatalf("valid instance %d poisoned by the failing one: %v", i, res[i].Err)
+		}
+		if res[i].Profile == nil {
+			t.Fatalf("valid instance %d has no profile", i)
+		}
+	}
+}
+
+// TestAudit: a clean batch passes the full audit; a tampered result is
+// caught.
+func TestAudit(t *testing.T) {
+	cfgs := mixedCorpus(t, 1)
+	eng := New(Options{Workers: 2})
+	res := eng.Solve(context.Background(), cfgs)
+	audited, err := eng.Audit(cfgs, res, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audited != len(cfgs) {
+		t.Fatalf("audited %d of %d at fraction 1", audited, len(cfgs))
+	}
+	// Tamper with one output: the audit must flag it.
+	tampered := append(game.Profile(nil), res[0].Profile...)
+	tampered[0].D *= 1.0000001
+	res[0].Profile = tampered
+	if _, err := eng.Audit(cfgs, res, 1, 42); !errors.Is(err, ErrAuditMismatch) {
+		t.Fatalf("tampered batch passed the audit: %v", err)
+	}
+}
+
+// TestAuditSampling: small fractions audit at least one instance and stay
+// deterministic in the seed.
+func TestAuditSampling(t *testing.T) {
+	cfgs := mixedCorpus(t, 1)
+	eng := New(Options{Workers: 1})
+	res := eng.Solve(context.Background(), cfgs)
+	a1, err := eng.Audit(cfgs, res, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 < 1 {
+		t.Fatal("fraction 0.25 audited nothing")
+	}
+	a2, err := eng.Audit(cfgs, res, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatalf("same seed audited %d then %d instances", a1, a2)
+	}
+	if n, err := eng.Audit(cfgs, res, 0, 7); n != 0 || err != nil {
+		t.Fatalf("fraction 0 must audit nothing, got %d, %v", n, err)
+	}
+}
+
+// TestWarmEviction: the warm map stays bounded by WarmCap.
+func TestWarmEviction(t *testing.T) {
+	eng := New(Options{Workers: 1, WarmCap: 2})
+	for i := 0; i < 5; i++ {
+		r := eng.SolveOne(fleetConfig(t, int64(i+1), 4))
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	if len(eng.warm) > 2 || len(eng.order) > 2 {
+		t.Fatalf("warm cache grew past WarmCap: %d entries, %d order", len(eng.warm), len(eng.order))
+	}
+}
+
+// TestWarmDisabled: negative WarmCap keeps the engine stateless.
+func TestWarmDisabled(t *testing.T) {
+	cfg := fleetConfig(t, 3, 4)
+	eng := New(Options{Workers: 1, WarmCap: -1})
+	a, b := eng.SolveOne(cfg), eng.SolveOne(cfg)
+	if a.Err != nil || b.Err != nil {
+		t.Fatal(a.Err, b.Err)
+	}
+	if b.Warm {
+		t.Fatal("warm hit with warm state disabled")
+	}
+	if !reflect.DeepEqual(a.Profile, b.Profile) {
+		t.Fatal("stateless re-solve differs")
+	}
+	if len(eng.warm) != 0 {
+		t.Fatal("warm entries retained with WarmCap < 0")
+	}
+}

@@ -1,0 +1,97 @@
+package game
+
+import (
+	"testing"
+
+	"tradefl/internal/accuracy"
+)
+
+func sigConfig(t *testing.T) *Config {
+	t.Helper()
+	cfg, err := DefaultConfig(GenOptions{Seed: 7, N: 5, NoOrgName: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// cloneForSig deep-copies the hashed parts of a config.
+func cloneForSig(src *Config) *Config {
+	dst := *src
+	dst.Orgs = make([]Organization, len(src.Orgs))
+	copy(dst.Orgs, src.Orgs)
+	for i := range src.Orgs {
+		dst.Orgs[i].CPULevels = append([]float64(nil), src.Orgs[i].CPULevels...)
+	}
+	dst.Rho = make([][]float64, len(src.Rho))
+	for i := range src.Rho {
+		dst.Rho[i] = append([]float64(nil), src.Rho[i]...)
+	}
+	return &dst
+}
+
+func TestSignatureStableAcrossClones(t *testing.T) {
+	cfg := sigConfig(t)
+	clone := cloneForSig(cfg)
+	if cfg.Signature() != clone.Signature() {
+		t.Fatal("deep copy changed the signature")
+	}
+	if cfg.Signature() != cfg.Signature() {
+		t.Fatal("signature not deterministic")
+	}
+}
+
+func TestSignatureDetectsInPlaceMutation(t *testing.T) {
+	cfg := sigConfig(t)
+	mutations := map[string]func(*Config){
+		"profitability": func(c *Config) { c.Orgs[2].Profitability *= 1.0001 },
+		"dataBits":      func(c *Config) { c.Orgs[0].DataBits *= 1.1 },
+		"samples":       func(c *Config) { c.Orgs[1].Samples += 1 },
+		"quality":       func(c *Config) { c.Orgs[3].Quality = 0.5 },
+		"cpuLevel":      func(c *Config) { c.Orgs[0].CPULevels[0] *= 1.01 },
+		"rho":           func(c *Config) { c.Rho[1][2] += 1e-6; c.Rho[2][1] += 1e-6 },
+		"gamma":         func(c *Config) { c.Gamma *= 2 },
+		"lambda":        func(c *Config) { c.Lambda += 0.01 },
+		"energyWeight":  func(c *Config) { c.EnergyWeight -= 0.01 },
+		"dMin":          func(c *Config) { c.DMin = 0.02 },
+		"deadline":      func(c *Config) { c.Deadline += 0.1 },
+		"omegaUnit":     func(c *Config) { c.OmegaInSamples = !c.OmegaInSamples },
+		"personal":      func(c *Config) { c.Personal.Alpha = 0.3 },
+		"comm":          func(c *Config) { c.Orgs[4].Comm.UploadTime += 0.01 },
+	}
+	base := cfg.Signature()
+	for name, mutate := range mutations {
+		work := cloneForSig(cfg)
+		mutate(work)
+		if work.Signature() == base {
+			t.Errorf("mutation %q not reflected in signature", name)
+		}
+	}
+}
+
+func TestSameModel(t *testing.T) {
+	m1, err := accuracy.NewScaled(accuracy.NewSqrtLoss(5, 1.1), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := accuracy.NewScaled(accuracy.NewSqrtLoss(5, 1.1), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameModel(m1, m1) {
+		t.Fatal("model not equal to itself")
+	}
+	if !SameModel(nil, nil) {
+		t.Fatal("nil models should match")
+	}
+	if SameModel(m1, nil) || SameModel(nil, m2) {
+		t.Fatal("nil vs non-nil should not match")
+	}
+	pl, err := accuracy.NewPowerLaw(0.2, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SameModel(m1, pl) {
+		t.Fatal("different dynamic types should not match")
+	}
+}

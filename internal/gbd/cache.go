@@ -37,27 +37,37 @@ const dominationMargin = 1e-6
 // Each cached value is computed once by exactly the expression the naive
 // path evaluates per call (linearCostPerOmega, fOnlyTerm, FeasibleD,
 // MaxDataFraction), so cached and fresh bits agree.
+//
+// It is reuse-friendly: when the solver already holds shape-matched
+// allocations (a warm rebind, see warm.go), every slice and map is recycled
+// and only the values are recomputed — the numeric state is re-derived from
+// the config in full, so a rebound solver's output stays byte-identical to
+// a fresh one's.
 func (s *solver) initIncremental() {
 	cfg := s.cfg
 	n := cfg.N()
-	s.levels = make([][]float64, n)
-	s.lvlCost = make([][]float64, n)
-	s.lvlLoY = make([][]float64, n)
-	s.lvlHiY = make([][]float64, n)
-	s.lvlFOnly = make([][]float64, n)
-	s.lvlCapD = make([][]float64, n)
-	s.lvlOK = make([][]bool, n)
+	if len(s.levels) != n {
+		s.levels = make([][]float64, n)
+		s.lvlCost = make([][]float64, n)
+		s.lvlLoY = make([][]float64, n)
+		s.lvlHiY = make([][]float64, n)
+		s.lvlFOnly = make([][]float64, n)
+		s.lvlCapD = make([][]float64, n)
+		s.lvlOK = make([][]bool, n)
+	}
 	for i := 0; i < n; i++ {
 		o := cfg.Orgs[i]
 		levels := o.CPULevels
 		m := len(levels)
 		s.levels[i] = levels
-		s.lvlCost[i] = make([]float64, m)
-		s.lvlLoY[i] = make([]float64, m)
-		s.lvlHiY[i] = make([]float64, m)
-		s.lvlFOnly[i] = make([]float64, m)
-		s.lvlCapD[i] = make([]float64, m)
-		s.lvlOK[i] = make([]bool, m)
+		if len(s.lvlCost[i]) != m {
+			s.lvlCost[i] = make([]float64, m)
+			s.lvlLoY[i] = make([]float64, m)
+			s.lvlHiY[i] = make([]float64, m)
+			s.lvlFOnly[i] = make([]float64, m)
+			s.lvlCapD[i] = make([]float64, m)
+			s.lvlOK[i] = make([]bool, m)
+		}
 		for k, fi := range levels {
 			dlo, dhi, ok := cfg.FeasibleD(i, fi)
 			s.lvlOK[i][k] = ok
@@ -68,13 +78,26 @@ func (s *solver) initIncremental() {
 			s.lvlCapD[i][k] = o.Comm.MaxDataFraction(o.DataBits, fi, cfg.Deadline)
 		}
 	}
-	s.tables = &cutTables{levels: s.levels}
-	s.memo = make(map[string]primalResult)
-	s.wfY = make([]float64, n)
-	s.wfOrder = make([]int, n)
-	s.wfW = make([]float64, n)
-	s.wfLo = make([]float64, n)
-	s.wfHi = make([]float64, n)
+	if s.tables == nil {
+		s.tables = &cutTables{}
+	}
+	t := s.tables
+	t.levels = s.levels
+	t.opt, t.optMax, t.optConst = t.opt[:0], t.optMax[:0], t.optConst[:0]
+	t.feas, t.feasMin = t.feas[:0], t.feasMin[:0]
+	if s.memo == nil {
+		s.memo = make(map[string]primalResult)
+	} else {
+		clear(s.memo)
+	}
+	s.memoKeys = s.memoKeys[:0]
+	if len(s.wfY) != n {
+		s.wfY = make([]float64, n)
+		s.wfOrder = make([]int, n)
+		s.wfW = make([]float64, n)
+		s.wfLo = make([]float64, n)
+		s.wfHi = make([]float64, n)
+	}
 	s.lb = math.Inf(-1)
 }
 

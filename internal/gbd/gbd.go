@@ -185,26 +185,40 @@ func newSolver(cfg *game.Config, opts Options) *solver {
 // ErrInfeasible is returned when no CPU grid point admits a feasible d.
 var ErrInfeasible = errors.New("gbd: problem infeasible for every f in the grid")
 
-// Solve runs Algorithm 1 on the coopetition game and returns the
-// near-optimal joint strategy profile.
-func Solve(cfg *game.Config, opts Options) (*Result, error) {
+// validateFor rejects configs Algorithm 1 cannot solve.
+func validateFor(cfg *game.Config) error {
 	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("gbd: %w", err)
+		return fmt.Errorf("gbd: %w", err)
 	}
 	if cfg.Personal.Alpha > 0 {
 		// The personalization extension adds a concave per-organization
 		// term to the potential, breaking the linear water-fill structure
 		// of the primal; solve personalized games with DBR instead.
-		return nil, errors.New("gbd: personalization extension not supported; use DBR")
+		return errors.New("gbd: personalization extension not supported; use DBR")
+	}
+	return nil
+}
+
+// Solve runs Algorithm 1 on the coopetition game and returns the
+// near-optimal joint strategy profile.
+func Solve(cfg *game.Config, opts Options) (*Result, error) {
+	if err := validateFor(cfg); err != nil {
+		return nil, err
 	}
 	opts = opts.withDefaults()
+	return run(cfg, opts, newSolver(cfg, opts))
+}
+
+// run executes Algorithm 1 on a prepared solver (fresh from newSolver or a
+// shape-matched rebind, see warm.go). cfg and opts are already validated
+// and normalized.
+func run(cfg *game.Config, opts Options, s *solver) (*Result, error) {
 	mRuns.Inc()
 	solveStart := time.Now()
 	_, root := obs.Span(context.Background(), "gbd.solve")
 	defer mSolveSec.ObserveSince(solveStart)
 	defer root.End()
 	n := cfg.N()
-	s := newSolver(cfg, opts)
 
 	// Initial f^(0): the fastest level of every organization, which is
 	// feasible whenever any grid point is.

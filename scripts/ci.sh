@@ -31,6 +31,13 @@ go test -race -run 'Delta|Engine|Incremental|ZeroAlloc|PrimalMemo|CutDomination'
   ./internal/game/ ./internal/dbr/ ./internal/gbd/
 BENCH_TIME=1x BENCH_COUNT=1 scripts/bench.sh >/dev/null
 
+echo "==> fleet fast gate (batch determinism + planner under -race)"
+# The batched engine's contract is byte-identity with one-at-a-time solves
+# under any interleaving, so its suite runs under -race early; -short skips
+# only the wall-clock regret test, which needs a quiet machine and runs in
+# the full race suite below.
+go test -race -short ./internal/fleet/
+
 echo "==> verify gate (invariant auditor under -race + mutation self-tests)"
 # The mutation suite injects one seeded violation per invariant family and
 # requires the matching check to fire: a silent auditor fails the gate, not
@@ -87,5 +94,18 @@ echo "==> bench regression smoke"
 sleep "${BENCH_SETTLE_SECS:-15}" # let CPU contention from the race suite drain
 BENCH_TIME="${BENCH_TIME:-100ms}" BENCH_COUNT="${BENCH_COUNT:-4}" scripts/bench.sh >/dev/null
 BENCH_MAX_REGRESSION_PCT="${BENCH_MAX_REGRESSION_PCT:-100}" scripts/bench-compare.sh
+
+echo "==> fleet throughput gate"
+# Within-profile ratios (speedup over naive, auto vs best fixed plan), so
+# machine-load noise partially cancels — but single-iteration jitter on a
+# contended box still swings the auto-vs-fixed ratio by tens of percent, so
+# like the regression smoke the defaults only catch gross misrouting (auto
+# picking the wrong solver class). Pin FLEET_MIN_SPEEDUP=3
+# FLEET_MAX_REGRET_PCT=10 for the strict quiet-machine contract.
+go run ./scripts/benchcmp fleet-gate \
+  -min-speedup "${FLEET_MIN_SPEEDUP:-2}" \
+  -max-regret "${FLEET_MAX_REGRET_PCT:-50}" \
+  -min-solves-per-sec "${FLEET_MIN_SOLVES_PER_SEC:-1000}" \
+  BENCH_latest.json
 
 echo "==> CI OK"
