@@ -38,6 +38,8 @@ type keyFile struct {
 }
 
 func main() {
+	// A panic anywhere in the run dumps the flight recorder before dying.
+	defer obs.FlightDumpOnPanic(os.Stderr)
 	err := run(os.Args[1:])
 	if err == nil {
 		// With -verify, any invariant breach turns into a nonzero exit.
@@ -49,7 +51,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("tradefl-chain", flag.ContinueOnError)
 	var (
 		listen   = fs.String("listen", "127.0.0.1:8545", "RPC listen address")
@@ -79,6 +81,12 @@ func run(args []string) error {
 	if diag != nil {
 		defer diag.Close()
 	}
+	// Flush -trace-out / -telemetry-out sinks whichever way the run exits.
+	defer func() {
+		if ferr := obsFlags.Finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	cfg, err := game.DefaultConfig(game.GenOptions{Seed: *seed})
 	if err != nil {

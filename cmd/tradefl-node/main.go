@@ -32,6 +32,8 @@ import (
 )
 
 func main() {
+	// A panic anywhere in the run dumps the flight recorder before dying.
+	defer obs.FlightDumpOnPanic(os.Stderr)
 	err := run(os.Args[1:])
 	if err == nil {
 		// With -verify, any invariant breach turns into a nonzero exit.
@@ -43,7 +45,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("tradefl-node", flag.ContinueOnError)
 	var (
 		local    = fs.Bool("local", false, "run all organizations in one process over loopback TCP")
@@ -71,6 +73,12 @@ func run(args []string) error {
 	if diag != nil {
 		defer diag.Close()
 	}
+	// Flush -trace-out / -telemetry-out sinks whichever way the run exits.
+	defer func() {
+		if ferr := obsFlags.Finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	parallel.SetDefault(*workers)
 	if err := game.ApplyIncrementalFlag(*incr); err != nil {
 		return err

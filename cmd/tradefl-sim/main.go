@@ -29,6 +29,10 @@ import (
 )
 
 func main() {
+	// A panic anywhere in the run dumps the flight recorder before dying:
+	// the ring holds the last ~2k fault/retry/span events, which is the
+	// post-mortem context a stack trace alone lacks.
+	defer obs.FlightDumpOnPanic(os.Stderr)
 	err := run(os.Args[1:])
 	if err == nil {
 		// With -verify, any invariant breach turns into a nonzero exit.
@@ -40,7 +44,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("tradefl-sim", flag.ContinueOnError)
 	var (
 		fig      = fs.String("fig", "", "experiment id to run (see -list)")
@@ -76,6 +80,12 @@ func run(args []string) error {
 	if diag != nil {
 		defer diag.Close()
 	}
+	// Flush -trace-out / -telemetry-out sinks whichever way the run exits.
+	defer func() {
+		if ferr := obsFlags.Finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	parallel.SetDefault(*workers)
 	if err := game.ApplyIncrementalFlag(*incr); err != nil {
 		return err
@@ -97,7 +107,13 @@ func run(args []string) error {
 			obs.Component("sim").Info("holding diagnostics server", "addr", diag.Addr(), "hold", *diagHold)
 			time.Sleep(*diagHold)
 		}
-		return rep.Err()
+		if gateErr := rep.Err(); gateErr != nil {
+			// A failed chaos gate dumps the flight recorder: the fault
+			// injections and retries leading to the breach are in the ring.
+			obs.DumpFlight(os.Stderr, "chaos gate failed: "+gateErr.Error())
+			return gateErr
+		}
+		return nil
 	}
 	if *fleetN > 0 {
 		start := time.Now()

@@ -10,12 +10,14 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"tradefl/internal/core"
 	"tradefl/internal/fleet"
 	"tradefl/internal/game"
+	"tradefl/internal/obs"
 	"tradefl/internal/randx"
 )
 
@@ -101,6 +103,19 @@ type Result struct {
 	MeanWelfare float64 `json:"meanWelfare"`
 }
 
+// epochTelemetry is the per-epoch convergence record written to the
+// -telemetry-out JSONL sink; TraceID links the epoch to the campaign.run
+// trace as an exemplar.
+type epochTelemetry struct {
+	Kind      string  `json:"kind"`
+	TraceID   string  `json:"trace,omitempty"`
+	Epoch     int     `json:"epoch"`
+	Gamma     float64 `json:"gamma"`
+	Welfare   float64 `json:"welfare"`
+	TotalData float64 `json:"totalData"`
+	Damage    float64 `json:"damage"`
+}
+
 // cloneConfig deep-copies the mutable parts of a game config.
 func cloneConfig(src *game.Config) *game.Config {
 	dst := *src
@@ -133,8 +148,11 @@ func Run(cfg Config) (*Result, error) {
 	// asserted by TestCampaignFleetByteIdentical).
 	eng := fleet.New(fleet.Options{Plan: cfg.Plan})
 	res := &Result{CumulativeTransfers: make([]float64, current.N())}
+	ctx, runSpan := obs.Span(context.Background(), "campaign.run")
+	defer runSpan.End()
 	var welfareSum float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		_, epochSpan := obs.Span(ctx, fmt.Sprintf("campaign.epoch-%d", epoch))
 		if epoch > 0 {
 			drift(current, src, cfg)
 		}
@@ -151,7 +169,7 @@ func Run(cfg Config) (*Result, error) {
 			gamma = tuned.Gamma
 			current.Gamma = gamma
 		}
-		solved := eng.SolveOne(current)
+		solved := eng.SolveOneCtx(ctx, current)
 		if solved.Err != nil {
 			return nil, fmt.Errorf("campaign epoch %d: %w", epoch, solved.Err)
 		}
@@ -169,6 +187,21 @@ func Run(cfg Config) (*Result, error) {
 		}
 		welfareSum += er.Welfare
 		res.Epochs = append(res.Epochs, er)
+		epochSpan.End()
+		if obs.TelemetryOpen() {
+			rec := epochTelemetry{
+				Kind:      "campaign.epoch",
+				Epoch:     epoch,
+				Gamma:     gamma,
+				Welfare:   er.Welfare,
+				TotalData: er.TotalData,
+				Damage:    er.Damage,
+			}
+			if tc, ok := runSpan.TraceContext(); ok {
+				rec.TraceID = tc.TraceID
+			}
+			obs.EmitTelemetry(rec)
+		}
 	}
 	res.MeanWelfare = welfareSum / float64(cfg.Epochs)
 	return res, nil

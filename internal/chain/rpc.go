@@ -42,12 +42,17 @@ const (
 	MethodGetReceipt = "tradefl_getReceipt"
 )
 
-// rpcRequest is a JSON-RPC 2.0 request.
+// rpcRequest is a JSON-RPC 2.0 request. Trace is a TradeFL extension: an
+// optional distributed-trace context the server continues into a serve
+// span; unaware peers ignore it, and a retried or replayed request carries
+// the same context so the trace stays consistent under at-least-once
+// delivery.
 type rpcRequest struct {
-	JSONRPC string          `json:"jsonrpc"`
-	ID      int64           `json:"id"`
-	Method  string          `json:"method"`
-	Params  json.RawMessage `json:"params,omitempty"`
+	JSONRPC string            `json:"jsonrpc"`
+	ID      int64             `json:"id"`
+	Method  string            `json:"method"`
+	Trace   *obs.TraceContext `json:"trace,omitempty"`
+	Params  json.RawMessage   `json:"params,omitempty"`
 }
 
 // rpcError is a JSON-RPC 2.0 error object.
@@ -164,6 +169,10 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		rpcLog.Warn("request parse failed", "err", err)
 		writeRPC(w, 0, nil, &rpcError{Code: -32700, Message: "parse error"})
 		return
+	}
+	if req.Trace != nil {
+		sp := obs.SpanRemote("chain.rpc.serve", *req.Trace)
+		defer sp.End()
 	}
 	result, err := s.dispatch(req.Method, req.Params)
 	if err != nil {
@@ -406,10 +415,22 @@ func (c *Client) Call(method string, params, out any) error {
 func (c *Client) CallCtx(ctx context.Context, method string, params, out any) error {
 	callStart := time.Now()
 	defer mClientCallSec.ObserveSince(callStart)
+	// Only calls whose context already carries a trace get a client span:
+	// high-rate background polls (status, receipts, nonces) run on untraced
+	// contexts and must not flood the trace store with root spans — the
+	// number of polls is timing-dependent, and seeded-soak trace topologies
+	// are required to be bit-identical across runs.
+	if _, traced := obs.TraceFromContext(ctx); traced {
+		var sp *obs.ActiveSpan
+		ctx, sp = obs.Span(ctx, "chain.rpc.call")
+		defer sp.End()
+	}
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
 			mClientRetries.Inc()
+			obs.FlightRecord("chain", "rpc-retry",
+				fmt.Sprintf("%s attempt %d: %v", method, attempt+1, lastErr))
 			rpcLog.Debug("retrying call", "method", method, "attempt", attempt+1, "err", lastErr)
 			select {
 			case <-time.After(c.backoff(attempt)):
@@ -432,6 +453,8 @@ func (c *Client) CallCtx(ctx context.Context, method string, params, out any) er
 		}
 	}
 	mClientGiveups.Inc()
+	obs.FlightRecord("chain", "rpc-giveup",
+		fmt.Sprintf("%s after %d attempts: %v", method, c.opts.MaxRetries+1, lastErr))
 	rpcLog.Warn("call failed after retries", "method", method, "attempts", c.opts.MaxRetries+1, "err", lastErr)
 	return lastErr
 }
@@ -459,7 +482,7 @@ func (c *Client) doOnce(ctx context.Context, method string, params, out any) err
 		raw = b
 	}
 	id := c.id.Add(1)
-	reqBody, err := json.Marshal(rpcRequest{JSONRPC: "2.0", ID: id, Method: method, Params: raw})
+	reqBody, err := json.Marshal(rpcRequest{JSONRPC: "2.0", ID: id, Method: method, Trace: obs.InjectTrace(ctx), Params: raw})
 	if err != nil {
 		return err
 	}

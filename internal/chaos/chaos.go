@@ -166,6 +166,16 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 	defer inj.Close()
 
+	// A seeded plan also seeds the trace/span ID generator, so two soaks of
+	// the same seed produce bit-identical trace topologies (asserted by
+	// TestSeededSoakDeterministicTraceTopology).
+	if opts.Plan.Seed != 0 {
+		obs.SeedIDs(opts.Plan.Seed)
+	}
+	ctx, soak := obs.Span(ctx, "chaos.run")
+	defer soak.End()
+	obs.FlightRecord("chaos", "soak-start", opts.Plan.String())
+
 	rep := &Report{Seed: opts.Plan.Seed, Orgs: opts.Orgs, Plan: opts.Plan.String()}
 
 	// Phase 1: the token ring over faulty loopback TCP.
@@ -177,7 +187,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	rep.RingElapsed = time.Since(ringStart)
 	rep.Profile = profile
 
-	ref, err := dbr.Solve(cfg, nil, dbr.Options{})
+	ref, err := dbr.SolveCtx(ctx, cfg, nil, dbr.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +263,7 @@ func runRing(ctx context.Context, cfg *game.Config, opts Options, inj *faults.In
 			results[i], errs[i] = nodes[i].Run(ctx)
 		}(i)
 	}
-	if err := nodes[0].Start(); err != nil {
+	if err := nodes[0].StartCtx(ctx); err != nil {
 		return nil, err
 	}
 	wg.Wait()

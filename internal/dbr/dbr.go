@@ -152,7 +152,7 @@ func BestResponseNaive(cfg *game.Config, p game.Profile, i int, dTol float64, wo
 	mCandidates.Add(int64(len(levels)))
 	workers = parallel.Resolve(workers)
 	if workers > 1 && len(levels) > 1 {
-		return reduceCandidates(parallel.Map(workers, len(levels), func(k int) candidate {
+		return reduceCandidates(parallel.MapLabeled("dbr.scan", workers, len(levels), func(k int) candidate {
 			return solveCandidate(cfg, p.Clone(), i, levels[k], dTol)
 		}))
 	}
@@ -198,6 +198,13 @@ func reduceCandidates(cands []candidate) (game.Strategy, float64, bool) {
 // Solve runs Algorithm 2 from the paper's initial profile
 // (d_i = D_min, f_i = F^(m)) unless a non-nil start is given.
 func Solve(cfg *game.Config, start game.Profile, opts Options) (*Result, error) {
+	return SolveCtx(context.Background(), cfg, start, opts)
+}
+
+// SolveCtx is Solve under a caller context: the solve's span joins the
+// trace carried by ctx (the chaos harness threads its run trace through
+// here), with no effect on the computed result.
+func SolveCtx(ctx context.Context, cfg *game.Config, start game.Profile, opts Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("dbr: %w", err)
 	}
@@ -214,7 +221,7 @@ func Solve(cfg *game.Config, start game.Profile, opts Options) (*Result, error) 
 
 	mRuns.Inc()
 	solveStart := time.Now()
-	_, root := obs.Span(context.Background(), "dbr.solve")
+	_, root := obs.Span(ctx, "dbr.solve")
 	defer mSolveSec.ObserveSince(solveStart)
 	defer root.End()
 

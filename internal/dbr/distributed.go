@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tradefl/internal/game"
+	"tradefl/internal/obs"
 	"tradefl/internal/transport"
 )
 
@@ -65,6 +66,12 @@ type Node struct {
 	lastProcessedSeq int64
 	// lastSent remembers the most recent forwarded token for resend.
 	lastSent *sentToken
+	// outTrace is the trace context stamped on outgoing frames: the current
+	// hop span while one is open (so the next node continues the token's
+	// trace), nil when tracing is off. A recovery resend reuses it — the
+	// duplicate frame carries the same context and the receiver's Seq dedup
+	// drops span creation along with the token.
+	outTrace *obs.TraceContext
 }
 
 // sentToken records a forwarded token and the ring offset it reached.
@@ -95,18 +102,45 @@ func NewNode(cfg *game.Config, index int, tr transport.Transport, peers []string
 
 // Start injects the initial token; call it on exactly one node (by
 // convention, node 0) after all nodes are running.
-func (n *Node) Start() error {
+func (n *Node) Start() error { return n.StartCtx(context.Background()) }
+
+// StartCtx injects the initial token carrying the trace context of ctx, so
+// every ring hop continues the caller's trace across the transport.
+func (n *Node) StartCtx(ctx context.Context) error {
 	start := n.cfg.MinimalProfile()
 	payload, err := json.Marshal(TokenPayload{Profile: start, Seq: 1})
 	if err != nil {
 		return err
 	}
-	return n.tr.Send(n.tr.Name(), transport.Message{Type: MsgToken, Payload: payload})
+	return n.tr.Send(n.tr.Name(), transport.Message{
+		Type: MsgToken, Trace: obs.InjectTrace(ctx), Payload: payload,
+	})
+}
+
+// startHop opens the span covering one token visit: a continuation of the
+// trace carried by the frame when present, else a child of this node's
+// session span. Called only after Seq dedup — a duplicated or replayed
+// frame never opens (and so never double-closes) a hop span.
+func (n *Node) startHop(ctx context.Context, remote *obs.TraceContext) *obs.ActiveSpan {
+	var hop *obs.ActiveSpan
+	if remote != nil {
+		hop = obs.SpanRemote("ring.hop", *remote)
+	} else {
+		_, hop = obs.Span(ctx, "ring.hop")
+	}
+	if tc, ok := hop.TraceContext(); ok {
+		n.outTrace = &tc
+	} else {
+		n.outTrace = nil
+	}
+	return hop
 }
 
 // Run processes protocol messages until convergence or context
 // cancellation, returning the agreed equilibrium profile.
 func (n *Node) Run(ctx context.Context) (game.Profile, error) {
+	ctx, session := obs.Span(ctx, "ring.node")
+	defer session.End()
 	for {
 		var timeout <-chan time.Time
 		var timer *time.Timer
@@ -146,9 +180,13 @@ func (n *Node) Run(ctx context.Context) (game.Profile, error) {
 				}
 				if tok.Seq <= n.lastProcessedSeq {
 					mDupes.Inc()
+					obs.FlightRecord("ring", "dup-token",
+						fmt.Sprintf("%s seq=%d last=%d", n.tr.Name(), tok.Seq, n.lastProcessedSeq))
 					continue // duplicate from a recovery resend
 				}
+				hop := n.startHop(ctx, msg.Trace)
 				done, profile, err := n.handleToken(tok)
+				hop.End()
 				if err != nil {
 					return nil, err
 				}
@@ -204,9 +242,11 @@ func (n *Node) resendToken() (bool, game.Profile, error) {
 		if err != nil {
 			return false, nil, err
 		}
-		if err := n.tr.Send(n.peers[target], transport.Message{Type: MsgToken, Payload: payload}); err == nil {
+		if err := n.tr.Send(n.peers[target], transport.Message{Type: MsgToken, Trace: n.outTrace, Payload: payload}); err == nil {
 			sent.resends++
 			mResends.Inc()
+			obs.FlightRecord("ring", "resend",
+				fmt.Sprintf("%s->%s seq=%d resend=%d", n.tr.Name(), n.peers[target], sent.tok.Seq, sent.resends))
 			dbrLog.Debug("token timeout, resending to same peer",
 				"node", n.tr.Name(), "peer", n.peers[target], "seq", sent.tok.Seq, "resend", sent.resends)
 			return false, nil, nil
@@ -215,6 +255,8 @@ func (n *Node) resendToken() (bool, game.Profile, error) {
 		// silent — skip it without burning the remaining retries.
 	}
 	mSkips.Inc()
+	obs.FlightRecord("ring", "skip-peer",
+		fmt.Sprintf("%s suspects %s crashed seq=%d resends=%d", n.tr.Name(), n.peers[target], sent.tok.Seq, sent.resends))
 	dbrLog.Debug("suspecting peer crashed, skipping",
 		"node", n.tr.Name(), "peer", n.peers[target], "seq", sent.tok.Seq, "resends", sent.resends)
 	skip := sent.tok
@@ -249,9 +291,11 @@ func (n *Node) forwardToken(tok TokenPayload, fromStep int) (bool, game.Profile,
 		if err != nil {
 			return false, nil, err
 		}
-		if err := n.tr.Send(n.peers[target], transport.Message{Type: MsgToken, Payload: payload}); err != nil {
+		if err := n.tr.Send(n.peers[target], transport.Message{Type: MsgToken, Trace: n.outTrace, Payload: payload}); err != nil {
 			// Peer unreachable: freeze its strategy and walk on.
 			mSkips.Inc()
+			obs.FlightRecord("ring", "skip-peer",
+				fmt.Sprintf("%s cannot reach %s seq=%d: %v", n.tr.Name(), n.peers[target], hop.Seq, err))
 			tok.Unchanged++
 			continue
 		}
@@ -271,7 +315,7 @@ func (n *Node) broadcastDone(tok TokenPayload) error {
 			continue
 		}
 		// Unreachable peers are tolerated: they are presumed crashed.
-		_ = n.tr.Send(peer, transport.Message{Type: MsgDone, Payload: payload})
+		_ = n.tr.Send(peer, transport.Message{Type: MsgDone, Trace: n.outTrace, Payload: payload})
 	}
 	return nil
 }
@@ -319,7 +363,7 @@ func SolveDistributed(ctx context.Context, cfg *game.Config, opts Options) (game
 			results[i], errs[i] = nodes[i].Run(ctx)
 		}(i)
 	}
-	if err := nodes[0].Start(); err != nil {
+	if err := nodes[0].StartCtx(ctx); err != nil {
 		return nil, err
 	}
 	wg.Wait()

@@ -108,7 +108,7 @@ func (e *Engine) BestResponse(i int, dTol float64, workers int) (game.Strategy, 
 		// Candidates only read the bound evaluator; each writes a disjoint
 		// slot of the pooled candidate buffer.
 		cands := e.cands[:len(levels)]
-		parallel.For(workers, len(levels), func(k int) {
+		parallel.ForLabeled("dbr.scan", workers, len(levels), func(k int) {
 			cands[k] = e.solveCandidate(i, levels[k], dTol)
 		})
 		return reduceCandidates(cands)

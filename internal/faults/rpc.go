@@ -5,6 +5,8 @@ import (
 	"hash/fnv"
 	"io"
 	"net/http"
+
+	"tradefl/internal/obs"
 )
 
 // faultyRoundTripper injects RPC faults on the client side of an HTTP
@@ -50,6 +52,7 @@ func (f *faultyRoundTripper) RoundTrip(req *http.Request) (*http.Response, error
 	if d.fail {
 		f.inj.count(func(c *Counts) { c.RPCFailures++ })
 		mRPCFailures.Inc()
+		obs.FlightRecord("faults", "rpc-fail", f.lane)
 		fLog.Debug("injected rpc failure", "lane", f.lane, "url", req.URL.String())
 		if req.Body != nil {
 			_ = req.Body.Close()
@@ -69,6 +72,7 @@ func (f *faultyRoundTripper) RoundTrip(req *http.Request) (*http.Response, error
 		// The server handled the request; the client never learns.
 		f.inj.count(func(c *Counts) { c.RPCLost++ })
 		mRPCLost.Inc()
+		obs.FlightRecord("faults", "rpc-lost", f.lane)
 		fLog.Debug("injected lost rpc response", "lane", f.lane, "url", req.URL.String())
 		_, _ = io.Copy(io.Discard, resp.Body)
 		_ = resp.Body.Close()

@@ -3,6 +3,7 @@ package faults
 import (
 	"fmt"
 
+	"tradefl/internal/obs"
 	"tradefl/internal/transport"
 )
 
@@ -47,6 +48,7 @@ func (f *faultyTransport) Send(to string, msg transport.Message) error {
 	if f.inj.partitioned(from, to) {
 		f.inj.count(func(c *Counts) { c.Partitioned++ })
 		mPartitioned.Inc()
+		obs.FlightRecord("faults", "partition", from+">"+to)
 		return fmt.Errorf("%w: link %s>%s partitioned", ErrInjected, from, to)
 	}
 	d := f.inj.decide(from + ">" + to)
@@ -54,6 +56,7 @@ func (f *faultyTransport) Send(to string, msg transport.Message) error {
 		// Loss in flight: the sender believes the send succeeded.
 		f.inj.count(func(c *Counts) { c.Dropped++ })
 		mDropped.Inc()
+		obs.FlightRecord("faults", "drop", fmt.Sprintf("%s>%s type=%s", from, to, msg.Type))
 		fLog.Debug("dropped message", "from", from, "to", to, "type", msg.Type)
 		return nil
 	}
@@ -63,6 +66,7 @@ func (f *faultyTransport) Send(to string, msg transport.Message) error {
 		// would report.
 		f.inj.count(func(c *Counts) { c.Delayed++ })
 		mDelayed.Inc()
+		obs.FlightRecord("faults", "delay", fmt.Sprintf("%s>%s type=%s delay=%s", from, to, msg.Type, d.delay))
 		f.inj.wg.Add(1)
 		go func() {
 			defer f.inj.wg.Done()
@@ -84,6 +88,7 @@ func (f *faultyTransport) Send(to string, msg transport.Message) error {
 	if d.dup {
 		f.inj.count(func(c *Counts) { c.Duplicated++ })
 		mDuplicated.Inc()
+		obs.FlightRecord("faults", "dup", fmt.Sprintf("%s>%s type=%s", from, to, msg.Type))
 		fLog.Debug("duplicated message", "from", from, "to", to, "type", msg.Type)
 		_ = f.inner.Send(to, msg)
 	}

@@ -220,6 +220,7 @@ func Run(cfg Config) (*Result, error) {
 				if at > cfg.StragglerDeadline {
 					res.Stragglers++
 					mStragglers.Inc()
+					obs.FlightRecord("fl", "straggler", fmt.Sprintf("round=%d org=%d at=%.3g deadline=%.3g", round, i, at, cfg.StragglerDeadline))
 					flLog.Debug("update missed round deadline", "round", round, "org", i, "at", at, "deadline", cfg.StragglerDeadline)
 					continue
 				}
@@ -238,6 +239,7 @@ func Run(cfg Config) (*Result, error) {
 			// the next round's arrivals resume training where it stood.
 			res.DegradedRounds++
 			mDegradedRounds.Inc()
+			obs.FlightRecord("fl", "degraded-round", fmt.Sprintf("round=%d: no update met the deadline", round))
 			flLog.Warn("degraded round: no update met the deadline", "round", round)
 		} else {
 			// Local training on a copy of the global model per arrived

@@ -14,6 +14,7 @@ import (
 	"tradefl/internal/dbr"
 	"tradefl/internal/game"
 	"tradefl/internal/gbd"
+	"tradefl/internal/obs"
 	"tradefl/internal/parallel"
 	"tradefl/internal/verify"
 )
@@ -135,10 +136,11 @@ func (e *Engine) Solve(ctx context.Context, cfgs []*game.Config) []Result {
 	mInstances.Add(int64(n))
 	mQueue.Add(float64(n))
 	start := time.Now()
+	ctx, batchSpan := obs.Span(ctx, "fleet.batch")
 	order := e.schedule(cfgs)
-	err := parallel.ForCtx(ctx, workers, n, func(i int) error {
+	err := parallel.ForCtxLabeled(ctx, "fleet.batch", workers, n, func(i int) error {
 		idx := order[i]
-		res[idx] = e.solveOne(cfgs[idx], spare)
+		res[idx] = e.solveOne(ctx, cfgs[idx], spare)
 		mQueue.Add(-1)
 		return nil
 	})
@@ -150,12 +152,39 @@ func (e *Engine) Solve(ctx context.Context, cfgs []*game.Config) []Result {
 			}
 		}
 	}
+	batchSpan.End()
 	dt := time.Since(start).Seconds()
 	mBatchSec.Observe(dt)
 	if dt > 0 {
 		mRate.Set(float64(n) / dt)
 	}
+	if obs.TelemetryOpen() {
+		failed := 0
+		for i := range res {
+			if res[i].Err != nil {
+				failed++
+			}
+		}
+		rec := batchTelemetry{Kind: "fleet.batch", Instances: n, Failed: failed, Seconds: dt}
+		if dt > 0 {
+			rec.SolvesPerSec = float64(n) / dt
+		}
+		if tc, ok := batchSpan.TraceContext(); ok {
+			rec.TraceID = tc.TraceID
+		}
+		obs.EmitTelemetry(rec)
+	}
 	return res
+}
+
+// batchTelemetry is the per-batch aggregate emitted to -telemetry-out.
+type batchTelemetry struct {
+	Kind         string  `json:"kind"`
+	TraceID      string  `json:"traceId,omitempty"`
+	Instances    int     `json:"instances"`
+	Failed       int     `json:"failed"`
+	Seconds      float64 `json:"seconds"`
+	SolvesPerSec float64 `json:"solvesPerSec,omitempty"`
 }
 
 // schedule orders the batch by (plan, shape) so consecutive solves share
@@ -193,12 +222,19 @@ func (e *Engine) schedule(cfgs []*game.Config) []int {
 // state, metrics). A lone instance may use the whole pool for
 // within-instance sharding.
 func (e *Engine) SolveOne(cfg *game.Config) Result {
-	mBatches.Inc()
-	mInstances.Inc()
-	return e.solveOne(cfg, parallel.Resolve(e.opts.Workers)-1)
+	return e.SolveOneCtx(context.Background(), cfg)
 }
 
-func (e *Engine) solveOne(cfg *game.Config, spare int) Result {
+// SolveOneCtx is SolveOne under a caller context: the instance's solver
+// span joins the trace carried by ctx (the campaign loop threads its run
+// trace through here), with no effect on the computed result.
+func (e *Engine) SolveOneCtx(ctx context.Context, cfg *game.Config) Result {
+	mBatches.Inc()
+	mInstances.Inc()
+	return e.solveOne(ctx, cfg, parallel.Resolve(e.opts.Workers)-1)
+}
+
+func (e *Engine) solveOne(ctx context.Context, cfg *game.Config, spare int) Result {
 	start := time.Now()
 	defer func() { mSolveSec.Observe(time.Since(start).Seconds()) }()
 
@@ -228,7 +264,7 @@ func (e *Engine) solveOne(cfg *game.Config, spare int) Result {
 		if dopts.Incremental == game.ToggleDefault {
 			dopts.Incremental = dec.Incremental
 		}
-		dres, err := dbr.Solve(cfg, nil, dopts)
+		dres, err := dbr.SolveCtx(ctx, cfg, nil, dopts)
 		if err != nil {
 			r.Err = err
 			break
@@ -236,7 +272,7 @@ func (e *Engine) solveOne(cfg *game.Config, spare int) Result {
 		r.DBR, r.Profile, r.Potential = dres, dres.Profile, cfg.Potential(dres.Profile)
 	default:
 		gopts := e.gbdOpts(dec)
-		gres, w2, err := gbd.SolveWarm(cfg, gopts, w)
+		gres, w2, err := gbd.SolveWarmCtx(ctx, cfg, gopts, w)
 		w = w2
 		if err != nil {
 			r.Err = err

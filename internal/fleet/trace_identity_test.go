@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"tradefl/internal/game"
+	"tradefl/internal/obs"
+)
+
+// TestTracingDoesNotChangeSolverOutputs is the instrumentation neutrality
+// contract: a fleet batch solved with tracing, flight recording and
+// telemetry fully active produces byte-identical profiles and potentials
+// to the same batch solved with observability at defaults. Tracing may
+// observe the solve; it must never perturb it.
+func TestTracingDoesNotChangeSolverOutputs(t *testing.T) {
+	const batch = 8
+	mkBatch := func() []*game.Config {
+		cfgs := make([]*game.Config, batch)
+		for i := range cfgs {
+			cfg, err := game.DefaultConfig(game.GenOptions{Seed: int64(100 + i), N: 3 + i%3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgs[i] = cfg
+		}
+		return cfgs
+	}
+
+	solve := func() []Result {
+		eng := New(Options{Plan: PlanAuto})
+		return eng.Solve(context.Background(), mkBatch())
+	}
+
+	plain := solve()
+
+	obs.EnableTracing(true)
+	obs.SeedIDs(2024)
+	obs.ResetTraces()
+	defer func() {
+		obs.EnableTracing(false)
+		obs.ResetTraces()
+	}()
+	traced := solve()
+
+	if len(plain) != len(traced) {
+		t.Fatalf("result counts differ: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		p, q := plain[i], traced[i]
+		if (p.Err == nil) != (q.Err == nil) {
+			t.Fatalf("instance %d error mismatch: %v vs %v", i, p.Err, q.Err)
+		}
+		if p.Err != nil {
+			continue
+		}
+		if p.Potential != q.Potential {
+			t.Errorf("instance %d potential differs with tracing on: %v vs %v", i, p.Potential, q.Potential)
+		}
+		if p.Plan != q.Plan {
+			t.Errorf("instance %d plan differs with tracing on: %v vs %v", i, p.Plan, q.Plan)
+		}
+		if len(p.Profile) != len(q.Profile) {
+			t.Fatalf("instance %d profile lengths differ", i)
+		}
+		for k := range p.Profile {
+			if p.Profile[k] != q.Profile[k] {
+				t.Errorf("instance %d org %d strategy differs with tracing on: %+v vs %+v",
+					i, k, p.Profile[k], q.Profile[k])
+			}
+		}
+	}
+}

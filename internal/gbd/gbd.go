@@ -202,20 +202,27 @@ func validateFor(cfg *game.Config) error {
 // Solve runs Algorithm 1 on the coopetition game and returns the
 // near-optimal joint strategy profile.
 func Solve(cfg *game.Config, opts Options) (*Result, error) {
+	return SolveCtx(context.Background(), cfg, opts)
+}
+
+// SolveCtx is Solve under a caller context: the solve's span joins the
+// trace carried by ctx (a fleet batch threads its batch trace through
+// here), with no effect on the computed result.
+func SolveCtx(ctx context.Context, cfg *game.Config, opts Options) (*Result, error) {
 	if err := validateFor(cfg); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults()
-	return run(cfg, opts, newSolver(cfg, opts))
+	return run(ctx, cfg, opts, newSolver(cfg, opts))
 }
 
 // run executes Algorithm 1 on a prepared solver (fresh from newSolver or a
 // shape-matched rebind, see warm.go). cfg and opts are already validated
 // and normalized.
-func run(cfg *game.Config, opts Options, s *solver) (*Result, error) {
+func run(ctx context.Context, cfg *game.Config, opts Options, s *solver) (*Result, error) {
 	mRuns.Inc()
 	solveStart := time.Now()
-	_, root := obs.Span(context.Background(), "gbd.solve")
+	_, root := obs.Span(ctx, "gbd.solve")
 	defer mSolveSec.ObserveSince(solveStart)
 	defer root.End()
 	n := cfg.N()
@@ -313,20 +320,41 @@ func run(cfg *game.Config, opts Options, s *solver) (*Result, error) {
 	}
 	res.Profile = best
 	res.Potential = lb
-	s.publish(res, ub-lb)
+	s.publish(res, ub-lb, root)
 	audit(cfg, res, opts)
 	return res, nil
 }
 
-// publish records the run's outcome gauges and trajectories for the
-// diagnostics endpoints (tradefl_gbd_* gauges, /runz trajectories).
-func (s *solver) publish(res *Result, gap float64) {
+// solveTelemetry is the per-solve convergence record emitted to the
+// -telemetry-out JSONL sink: the bound-gap/incumbent series per CGBD
+// master iteration, final welfare, and the solve's trace ID as exemplar.
+type solveTelemetry struct {
+	Kind        string    `json:"kind"`
+	TraceID     string    `json:"traceId,omitempty"`
+	Iterations  int       `json:"iterations"`
+	Converged   bool      `json:"converged"`
+	Gap         float64   `json:"gap"`
+	Potential   float64   `json:"potential"`
+	Welfare     float64   `json:"welfare"`
+	LowerBounds []float64 `json:"lowerBounds"`
+	UpperBounds []float64 `json:"upperBounds"`
+	Incumbents  []float64 `json:"incumbents"`
+}
+
+// publish records the run's outcome gauges, distribution histograms and
+// trajectories for the diagnostics endpoints, plus the per-solve telemetry
+// record when a -telemetry-out sink is open.
+func (s *solver) publish(res *Result, gap float64, root *obs.ActiveSpan) {
 	if res.Converged {
 		mConverged.Inc()
 	}
+	welfare := s.cfg.SocialWelfare(res.Profile)
 	mGap.Set(gap)
 	mPotential.Set(res.Potential)
-	mWelfare.Set(s.cfg.SocialWelfare(res.Profile))
+	mWelfare.Set(welfare)
+	mGapHist.Observe(gap)
+	mItersHist.Observe(float64(res.Iterations))
+	mWelfareHist.Observe(welfare)
 	obs.RecordTrajectory("gbd.lower_bound", res.LowerBounds)
 	obs.RecordTrajectory("gbd.upper_bound", res.UpperBounds)
 	obs.RecordTrajectory("gbd.potential", res.PotentialTrace)
@@ -337,6 +365,23 @@ func (s *solver) publish(res *Result, gap float64) {
 		}
 	}
 	obs.RecordTrajectory("gbd.gap", gaps)
+	if obs.TelemetryOpen() {
+		rec := solveTelemetry{
+			Kind:        "gbd.solve",
+			Iterations:  res.Iterations,
+			Converged:   res.Converged,
+			Gap:         gap,
+			Potential:   res.Potential,
+			Welfare:     welfare,
+			LowerBounds: res.LowerBounds,
+			UpperBounds: res.UpperBounds,
+			Incumbents:  res.PotentialTrace,
+		}
+		if tc, ok := root.TraceContext(); ok {
+			rec.TraceID = tc.TraceID
+		}
+		obs.EmitTelemetry(rec)
+	}
 }
 
 // toProfile assembles a strategy profile from d and f vectors.

@@ -127,7 +127,7 @@ func (s *solver) masterTraversal() ([]int, []float64, float64, bool) {
 	if s.workers <= 1 || n < 2 || roots < 2 {
 		return s.masterTraversalSerial(t)
 	}
-	results := parallel.Map(s.workers, roots, func(root int) branchBest {
+	results := parallel.MapLabeled("gbd.traversal", s.workers, roots, func(root int) branchBest {
 		idx := make([]int, n)
 		idx[0] = root
 		best := branchBest{phi: math.Inf(-1)}
@@ -222,7 +222,7 @@ func (s *solver) masterTraversalIncremental(t *cutTables) ([]int, []float64, flo
 	}
 	var shared parallel.MaxFloat64
 	shared.Update(seed)
-	results := parallel.Map(s.workers, roots, func(root int) branchBest {
+	results := parallel.MapLabeled("gbd.traversal", s.workers, roots, func(root int) branchBest {
 		ps := newPrunedSearch(t, nil, n, &shared)
 		ps.bestPhi = seed
 		ps.assign(0, root)
@@ -1059,7 +1059,7 @@ func (s *solver) masterPruned() ([]int, []float64, float64, bool) {
 		return ps.bestIdx, s.gridF(t, ps.bestIdx), ps.bestPhi, true
 	}
 	var shared parallel.MaxFloat64
-	results := parallel.Map(s.workers, roots, func(root int) branchBest {
+	results := parallel.MapLabeled("gbd.pruned", s.workers, roots, func(root int) branchBest {
 		ps := newPrunedSearch(t, suf, n, &shared)
 		ps.assign(0, root)
 		ps.dfs(1)
@@ -1091,7 +1091,7 @@ func (s *solver) masterPrunedIncremental(t *cutTables, suf *boundSuffixes, n int
 	}
 	var shared parallel.MaxFloat64
 	shared.Update(seed)
-	results := parallel.Map(s.workers, roots, func(root int) branchBest {
+	results := parallel.MapLabeled("gbd.pruned", s.workers, roots, func(root int) branchBest {
 		is := newIncSearch(it, n, &shared)
 		is.bestPhi = seed
 		is.enterShard(root)

@@ -18,6 +18,16 @@ var (
 	mMasterSec  = obs.NewHistogram("tradefl_gbd_master_seconds", "wall time of master problem (23) solves", obs.TimeBuckets)
 	mFeasSec    = obs.NewHistogram("tradefl_gbd_feasibility_seconds", "wall time of feasibility-check problem (21) solves", obs.TimeBuckets)
 	mSolveSec   = obs.NewHistogram("tradefl_gbd_solve_seconds", "end-to-end wall time of CGBD runs", obs.TimeBuckets)
+
+	// Convergence distributions across solves — the fleet-wide view of the
+	// paper's bound-sandwich guarantee (exit gap, iterations to converge,
+	// welfare attained), complementing the last-run gauges above.
+	mGapHist = obs.NewHistogram("tradefl_gbd_exit_gap", "distribution of UB-LB at CGBD exit",
+		obs.ExpBuckets(1e-9, 10, 14))
+	mItersHist = obs.NewHistogram("tradefl_gbd_iterations_per_solve", "distribution of CGBD iterations per solve",
+		[]float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64})
+	mWelfareHist = obs.NewHistogram("tradefl_gbd_welfare_per_solve", "distribution of social welfare at CGBD solutions",
+		obs.ExpBuckets(1, 4, 14))
 )
 
 // Incremental-engine cache telemetry (tradefl_cache_*): primal-subproblem

@@ -1,6 +1,7 @@
 package gbd
 
 import (
+	"context"
 	"math"
 
 	"tradefl/internal/accuracy"
@@ -87,6 +88,12 @@ func (s *solver) rebind(cfg *game.Config, opts Options) {
 // call; a nil w means cold start. Callers must treat returned Results as
 // immutable — the result cache shares them.
 func SolveWarm(cfg *game.Config, opts Options, w *Warm) (*Result, *Warm, error) {
+	return SolveWarmCtx(context.Background(), cfg, opts, w)
+}
+
+// SolveWarmCtx is SolveWarm under a caller context; the solve's span joins
+// the trace carried by ctx, with no effect on the computed result.
+func SolveWarmCtx(ctx context.Context, cfg *game.Config, opts Options, w *Warm) (*Result, *Warm, error) {
 	if err := validateFor(cfg); err != nil {
 		return nil, w, err
 	}
@@ -109,7 +116,7 @@ func SolveWarm(cfg *game.Config, opts Options, w *Warm) (*Result, *Warm, error) 
 	} else {
 		s = newSolver(cfg, opts)
 	}
-	res, err := run(cfg, opts, s)
+	res, err := run(ctx, cfg, opts, s)
 	w.s = s
 	if err != nil {
 		// Keep the scratch (still shape-valid), drop the result key.

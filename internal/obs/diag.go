@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"time"
 )
 
@@ -32,6 +33,8 @@ func StartDiag(addr string) (*DiagServer, error) {
 	mux.HandleFunc("/metrics", d.handleMetrics)
 	mux.HandleFunc("/healthz", d.handleHealthz)
 	mux.HandleFunc("/runz", d.handleRunz)
+	mux.HandleFunc("/tracez", d.handleTracez)
+	mux.HandleFunc("/flightz", d.handleFlightz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -84,28 +87,73 @@ func (d *DiagServer) handleRunz(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write(raw)
 }
 
-// Flags is the standard telemetry flag set every TradeFL command exposes.
-type Flags struct {
-	Level    *string
-	Format   *string
-	DiagAddr *string
+// handleTracez serves retained traces: ?fmt=chrome (the default) renders
+// Chrome trace-event JSON for chrome://tracing / Perfetto; ?fmt=topology
+// renders the sorted root-span fingerprint lines.
+func (d *DiagServer) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("fmt") == "topology" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, line := range TraceTopology() {
+			fmt.Fprintln(w, line)
+		}
+		return
+	}
+	raw, err := ChromeTraceJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(raw)
 }
 
-// RegisterFlags adds -log-level, -log-format and -diag-addr to fs.
+// handleFlightz serves the flight-recorder journal on demand.
+func (d *DiagServer) handleFlightz(w http.ResponseWriter, _ *http.Request) {
+	raw, err := FlightDumpJSON("on-demand /flightz")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(raw)
+}
+
+// Flags is the standard telemetry flag set every TradeFL command exposes.
+type Flags struct {
+	Level        *string
+	Format       *string
+	DiagAddr     *string
+	TraceOut     *string
+	TelemetryOut *string
+}
+
+// RegisterFlags adds -log-level, -log-format, -diag-addr, -trace-out and
+// -telemetry-out to fs.
 func RegisterFlags(fs *flag.FlagSet) *Flags {
 	return &Flags{
-		Level:    fs.String("log-level", "info", "minimum log level: debug|info|warn|error"),
-		Format:   fs.String("log-format", "text", "log output format: text|json"),
-		DiagAddr: fs.String("diag-addr", "", "serve /metrics, /healthz, /runz and /debug/pprof on this address (empty = disabled)"),
+		Level:        fs.String("log-level", "info", "minimum log level: debug|info|warn|error"),
+		Format:       fs.String("log-format", "text", "log output format: text|json"),
+		DiagAddr:     fs.String("diag-addr", "", "serve /metrics, /healthz, /runz, /tracez, /flightz and /debug/pprof on this address (empty = disabled)"),
+		TraceOut:     fs.String("trace-out", "", "enable distributed tracing and write completed traces as Chrome-trace JSON to this file at exit"),
+		TelemetryOut: fs.String("telemetry-out", "", "write per-solve/batch/epoch convergence telemetry as JSONL to this file"),
 	}
 }
 
-// Apply installs the logging configuration and, when -diag-addr was given,
-// starts the diagnostics server (returned non-nil; callers should defer
-// Close). It logs the bound diagnostics address at info level.
+// Apply installs the logging configuration, enables tracing and the
+// telemetry sink when their output flags were given, and, when -diag-addr
+// was given, starts the diagnostics server (returned non-nil; callers
+// should defer Close). Pair with a deferred Finish to flush the sinks.
 func (f *Flags) Apply() (*DiagServer, error) {
 	if err := ConfigureLogging(*f.Level, *f.Format, nil); err != nil {
 		return nil, err
+	}
+	if *f.TraceOut != "" {
+		EnableTracing(true)
+	}
+	if *f.TelemetryOut != "" {
+		if err := OpenTelemetry(*f.TelemetryOut); err != nil {
+			return nil, err
+		}
 	}
 	if *f.DiagAddr == "" {
 		return nil, nil
@@ -116,4 +164,27 @@ func (f *Flags) Apply() (*DiagServer, error) {
 	}
 	Component("obs").Info("diagnostics serving", "addr", d.Addr())
 	return d, nil
+}
+
+// Finish flushes the file sinks Apply armed: it writes retained traces to
+// -trace-out and closes the -telemetry-out JSONL sink. Safe to call when
+// neither flag was given.
+func (f *Flags) Finish() error {
+	var firstErr error
+	if *f.TraceOut != "" {
+		out, err := os.Create(*f.TraceOut)
+		if err == nil {
+			err = WriteChromeTrace(out)
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			firstErr = fmt.Errorf("obs: trace out: %w", err)
+		}
+	}
+	if err := CloseTelemetry(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // formatValue renders a float in Prometheus text form ("+Inf", "-Inf" and
@@ -22,32 +23,73 @@ func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// labelValueEscaper implements the exposition-format escaping rules for
+// label values: backslash, double-quote and newline. Go's %q is NOT
+// equivalent — it escapes arbitrary non-printing bytes in forms Prometheus
+// parsers reject.
+var labelValueEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabelValue renders a label value for the text exposition format.
+func escapeLabelValue(v string) string { return labelValueEscaper.Replace(v) }
+
+// formatLabels renders `{k="v",...}` for the sample's constant labels plus
+// an optional extra pair (the histogram "le" bound), or "" when both are
+// empty.
+func formatLabels(labels []LabelPair, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabelValue(l.Value))
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraKey, escapeLabelValue(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // WritePrometheus writes every metric in the Prometheus text exposition
 // format (version 0.0.4): # HELP / # TYPE comments followed by samples,
 // with histograms expanded into cumulative _bucket{le="..."} series plus
-// _sum and _count.
+// _sum and _count. Series sharing a name (labeled variants) are grouped
+// under one HELP/TYPE header; label values are escaped per the format's
+// backslash/quote/newline rules.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	prevName := ""
 	for _, s := range r.Snapshot() {
-		if s.Help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+		if s.Name != prevName {
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
 				return err
 			}
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
-			return err
+			prevName = s.Name
 		}
 		switch s.Kind {
 		case "histogram":
 			for _, b := range s.Buckets {
-				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, formatValue(b.UpperBound), b.Count); err != nil {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, formatLabels(s.Labels, "le", formatValue(b.UpperBound)), b.Count); err != nil {
 					return err
 				}
 			}
-			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", s.Name, formatValue(s.Sum), s.Name, s.Count); err != nil {
+			ls := formatLabels(s.Labels, "", "")
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", s.Name, ls, formatValue(s.Sum), s.Name, ls, s.Count); err != nil {
 				return err
 			}
 		default:
-			if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatValue(s.Value)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, formatLabels(s.Labels, "", ""), formatValue(s.Value)); err != nil {
 				return err
 			}
 		}
@@ -58,13 +100,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // jsonSample mirrors Sample with JSON-safe floats (NaN/±Inf marshal as
 // null, which encoding/json otherwise rejects).
 type jsonSample struct {
-	Name    string        `json:"name"`
-	Kind    string        `json:"kind"`
-	Help    string        `json:"help,omitempty"`
-	Value   *float64      `json:"value,omitempty"`
-	Count   int64         `json:"count,omitempty"`
-	Sum     *float64      `json:"sum,omitempty"`
-	Buckets []jsonBucket  `json:"buckets,omitempty"`
+	Name    string       `json:"name"`
+	Kind    string       `json:"kind"`
+	Help    string       `json:"help,omitempty"`
+	Labels  []LabelPair  `json:"labels,omitempty"`
+	Value   *float64     `json:"value,omitempty"`
+	Count   int64        `json:"count,omitempty"`
+	Sum     *float64     `json:"sum,omitempty"`
+	Buckets []jsonBucket `json:"buckets,omitempty"`
 }
 
 type jsonBucket struct {
@@ -84,7 +127,7 @@ func safeFloat(v float64) *float64 {
 func toJSONSamples(samples []Sample) []jsonSample {
 	out := make([]jsonSample, 0, len(samples))
 	for _, s := range samples {
-		js := jsonSample{Name: s.Name, Kind: s.Kind, Help: s.Help, Count: s.Count}
+		js := jsonSample{Name: s.Name, Kind: s.Kind, Help: s.Help, Labels: s.Labels, Count: s.Count}
 		switch s.Kind {
 		case "histogram":
 			js.Sum = safeFloat(s.Sum)

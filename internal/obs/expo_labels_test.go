@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// mustPanic asserts fn panics; registration-time validation is a
+// programming-error guard, so it must be loud, not a silent mangle.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegisterValidatesMetricAndLabelNames(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "hyphenated metric name", func() { r.Counter("bad-name_total", "h") })
+	mustPanic(t, "leading-digit metric name", func() { r.Gauge("0bad", "h") })
+	mustPanic(t, "hyphenated label name", func() {
+		r.LabeledCounter("good_total", "h", LabelPair{Key: "bad-key", Value: "v"})
+	})
+	// Valid names must not panic, including the colon Prometheus allows.
+	r.Counter("ok_total", "h")
+	r.Counter("ns:ok_total", "h")
+	r.LabeledCounter("ok_labeled_total", "h", LabelPair{Key: "lane", Value: "a"})
+}
+
+// TestGoldenLabelValueEscaping pins the exposition-format escaping rules
+// for label values: backslash, double-quote and newline are escaped —
+// and nothing else is.
+func TestGoldenLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("test_escape_total", "escaping golden", LabelPair{
+		Key:   "lane",
+		Value: "back\\slash \"quoted\"\nnext tab\there",
+	}).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const want = `test_escape_total{lane="back\\slash \"quoted\"\nnext tab	here"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("exposition missing golden escaped sample %q:\n%s", want, buf.String())
+	}
+}
+
+// TestLabeledFamilySharesHelpAndType asserts HELP/TYPE are emitted once
+// per family even when several label sets (and a name that prefixes
+// another) are registered.
+func TestLabeledFamilySharesHelpAndType(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledCounter("test_family_total", "family golden", LabelPair{Key: "lane", Value: "a"}).Inc()
+	r.LabeledCounter("test_family_total", "family golden", LabelPair{Key: "lane", Value: "b"}).Add(2)
+	// A family whose name is a prefix of another must not interleave.
+	r.Counter("test_family_total_more", "prefix sibling").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "# HELP test_family_total "); got != 1 {
+		t.Errorf("HELP for test_family_total emitted %d times, want 1:\n%s", got, out)
+	}
+	if got := strings.Count(out, "# TYPE test_family_total counter"); got != 1 {
+		t.Errorf("TYPE for test_family_total emitted %d times, want 1:\n%s", got, out)
+	}
+	// Both label sets present, and family blocks contiguous: every
+	// test_family_total sample must appear before the prefix sibling's HELP.
+	aIdx := strings.Index(out, `test_family_total{lane="a"} 1`)
+	bIdx := strings.Index(out, `test_family_total{lane="b"} 2`)
+	sibIdx := strings.Index(out, "# HELP test_family_total_more")
+	if aIdx < 0 || bIdx < 0 || sibIdx < 0 {
+		t.Fatalf("expected samples missing:\n%s", out)
+	}
+	if aIdx > sibIdx || bIdx > sibIdx {
+		t.Errorf("family samples interleaved with sibling family:\n%s", out)
+	}
+}

@@ -14,7 +14,9 @@ package obs
 import (
 	"fmt"
 	"math"
+	"regexp"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -133,14 +135,49 @@ func (k metricKind) String() string {
 	return "unknown"
 }
 
-// entry is one registered metric.
+// LabelPair is one constant metric label (validated at registration,
+// value escaped at exposition time).
+type LabelPair struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// entry is one registered metric time series (name + constant labels).
 type entry struct {
-	name string
-	help string
-	kind metricKind
-	ctr  *Counter
-	gau  *Gauge
-	hist *Histogram
+	name   string
+	help   string
+	kind   metricKind
+	labels []LabelPair // sorted by key; nil for unlabeled metrics
+	ctr    *Counter
+	gau    *Gauge
+	hist   *Histogram
+}
+
+// metricNameRE / labelNameRE are the Prometheus exposition-format grammars
+// for metric and label names. Values are free-form (escaped on write);
+// names are validated at registration, where a violation is an init-time
+// programming error and panics.
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// canonicalLabels sorts a copy of labels by key and returns it with the
+// registry key suffix that makes (name, labels) unique.
+func canonicalLabels(labels []LabelPair) ([]LabelPair, string) {
+	if len(labels) == 0 {
+		return nil, ""
+	}
+	cp := append([]LabelPair(nil), labels...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Key < cp[j].Key })
+	var b strings.Builder
+	for _, l := range cp {
+		b.WriteByte('\xff')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return cp, b.String()
 }
 
 // Registry holds named metrics. Registration takes a lock; the returned
@@ -160,16 +197,26 @@ func NewRegistry() *Registry {
 // Default is the process-wide registry all package-level metrics live in.
 var Default = NewRegistry()
 
-func (r *Registry) register(name, help string, kind metricKind) *entry {
+func (r *Registry) register(name, help string, kind metricKind, labels ...LabelPair) *entry {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	sorted, suffix := canonicalLabels(labels)
+	for _, l := range sorted {
+		if !labelNameRE.MatchString(l.Key) {
+			panic(fmt.Sprintf("obs: metric %q has invalid label name %q", name, l.Key))
+		}
+	}
+	key := name + suffix
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if e, ok := r.entries[name]; ok {
+	if e, ok := r.entries[key]; ok {
 		if e.kind != kind {
 			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, e.kind))
 		}
 		return e
 	}
-	e := &entry{name: name, help: help, kind: kind}
+	e := &entry{name: name, help: help, kind: kind, labels: sorted}
 	switch kind {
 	case kindCounter:
 		e.ctr = &Counter{}
@@ -178,7 +225,7 @@ func (r *Registry) register(name, help string, kind metricKind) *entry {
 	case kindHistogram:
 		e.hist = &Histogram{}
 	}
-	r.entries[name] = e
+	r.entries[key] = e
 	return e
 }
 
@@ -225,6 +272,30 @@ func NewHistogram(name, help string, bounds []float64) *Histogram {
 	return Default.Histogram(name, help, bounds)
 }
 
+// LabeledCounter returns the counter registered under name with the given
+// constant labels, creating it if absent. Each distinct label set is its
+// own time series; label values may contain any bytes (escaped at
+// exposition), label names are validated like metric names.
+func (r *Registry) LabeledCounter(name, help string, labels ...LabelPair) *Counter {
+	return r.register(name, help, kindCounter, labels...).ctr
+}
+
+// LabeledGauge returns the gauge registered under name with the given
+// constant labels, creating it if absent.
+func (r *Registry) LabeledGauge(name, help string, labels ...LabelPair) *Gauge {
+	return r.register(name, help, kindGauge, labels...).gau
+}
+
+// NewLabeledCounter registers a labeled counter in the Default registry.
+func NewLabeledCounter(name, help string, labels ...LabelPair) *Counter {
+	return Default.LabeledCounter(name, help, labels...)
+}
+
+// NewLabeledGauge registers a labeled gauge in the Default registry.
+func NewLabeledGauge(name, help string, labels ...LabelPair) *Gauge {
+	return Default.LabeledGauge(name, help, labels...)
+}
+
 // BucketCount is one cumulative histogram bucket of a snapshot.
 type BucketCount struct {
 	// UpperBound is the inclusive upper bound (math.Inf(1) for the last).
@@ -238,6 +309,8 @@ type Sample struct {
 	Name string `json:"name"`
 	Kind string `json:"kind"`
 	Help string `json:"help,omitempty"`
+	// Labels holds the constant labels of the series (sorted by key).
+	Labels []LabelPair `json:"labels,omitempty"`
 	// Value holds the counter count or gauge value.
 	Value float64 `json:"value,omitempty"`
 	// Count, Sum and Buckets are set for histograms.
@@ -250,15 +323,28 @@ type Sample struct {
 // metric updates do not affect a snapshot already taken.
 func (r *Registry) Snapshot() []Sample {
 	r.mu.Lock()
-	entries := make([]*entry, 0, len(r.entries))
-	for _, e := range r.entries {
-		entries = append(entries, e)
+	type keyed struct {
+		key string
+		e   *entry
+	}
+	entries := make([]keyed, 0, len(r.entries))
+	for k, e := range r.entries {
+		entries = append(entries, keyed{strings.TrimPrefix(k, e.name), e})
 	}
 	r.mu.Unlock()
-	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	// Sort by (name, label suffix) rather than the raw map key so every
+	// series of one metric family stays contiguous even when one family
+	// name is a prefix of another (the exposition format requires it).
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].e.name != entries[j].e.name {
+			return entries[i].e.name < entries[j].e.name
+		}
+		return entries[i].key < entries[j].key
+	})
 	out := make([]Sample, 0, len(entries))
-	for _, e := range entries {
-		s := Sample{Name: e.name, Kind: e.kind.String(), Help: e.help}
+	for _, ke := range entries {
+		e := ke.e
+		s := Sample{Name: e.name, Kind: e.kind.String(), Help: e.help, Labels: e.labels}
 		switch e.kind {
 		case kindCounter:
 			s.Value = float64(e.ctr.Value())

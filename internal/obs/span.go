@@ -4,14 +4,21 @@ import (
 	"context"
 	"encoding/json"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // SpanNode is one completed (or in-flight) span of a wall-time tree.
 // Fields are written by the owning goroutine; Children is guarded by mu so
 // spans may be started from concurrent goroutines under one parent.
+// TraceID/SpanID/ParentSpanID are set only while tracing is enabled
+// (EnableTracing); they are stable hex strings derived as documented in
+// trace.go.
 type SpanNode struct {
 	Name          string      `json:"name"`
+	TraceID       string      `json:"traceId,omitempty"`
+	SpanID        string      `json:"spanId,omitempty"`
+	ParentSpanID  string      `json:"parentSpanId,omitempty"`
 	StartUnixNano int64       `json:"startUnixNano"`
 	DurationNanos int64       `json:"durationNanos"`
 	Children      []*SpanNode `json:"children,omitempty"`
@@ -19,20 +26,29 @@ type SpanNode struct {
 	mu sync.Mutex
 }
 
-func (n *SpanNode) addChild(c *SpanNode) {
+// addChild appends c and returns its index among the parent's children —
+// the index feeds deterministic child span-ID derivation.
+func (n *SpanNode) addChild(c *SpanNode) int {
 	n.mu.Lock()
 	n.Children = append(n.Children, c)
+	idx := len(n.Children) - 1
 	n.mu.Unlock()
+	return idx
 }
 
 // Duration returns the recorded wall time of the span.
 func (n *SpanNode) Duration() time.Duration { return time.Duration(n.DurationNanos) }
 
-// ActiveSpan is a started span; call End exactly once.
+// ActiveSpan is a started span; call End exactly once. A second End is
+// suppressed (and counted on tradefl_trace_double_close_total) rather than
+// corrupting the recorded duration — duplicate delivery in the faults
+// fabric must never double-close a span.
 type ActiveSpan struct {
-	node  *SpanNode
-	start time.Time
-	root  bool
+	node     *SpanNode
+	start    time.Time
+	root     bool
+	spanBits uint64 // ID bits for child derivation; 0 when tracing is off
+	ended    atomic.Bool
 }
 
 // Node exposes the underlying tree node (valid after End for durations).
@@ -51,10 +67,22 @@ func Span(ctx context.Context, name string) (context.Context, *ActiveSpan) {
 		node:  &SpanNode{Name: name, StartUnixNano: now.UnixNano()},
 		start: now,
 	}
+	mSpansStarted.Inc()
 	if parent, ok := ctx.Value(spanKey{}).(*ActiveSpan); ok && parent != nil {
-		parent.node.addChild(s.node)
+		idx := parent.node.addChild(s.node)
+		if tracingEnabled.Load() && parent.node.TraceID != "" {
+			s.node.TraceID = parent.node.TraceID
+			s.node.ParentSpanID = parent.node.SpanID
+			s.spanBits = childBits(parent.spanBits, name, idx)
+			s.node.SpanID = hex64(s.spanBits)
+		}
 	} else {
 		s.root = true
+		if tracingEnabled.Load() {
+			traceID, bits := newRootIDs(name)
+			s.node.TraceID, s.spanBits = traceID, bits
+			s.node.SpanID = hex64(bits)
+		}
 	}
 	return context.WithValue(ctx, spanKey{}, s), s
 }
@@ -68,16 +96,35 @@ func (s *ActiveSpan) StartChild(name string) *ActiveSpan {
 		node:  &SpanNode{Name: name, StartUnixNano: now.UnixNano()},
 		start: now,
 	}
-	s.node.addChild(c.node)
+	mSpansStarted.Inc()
+	idx := s.node.addChild(c.node)
+	if tracingEnabled.Load() && s.node.TraceID != "" {
+		c.node.TraceID = s.node.TraceID
+		c.node.ParentSpanID = s.node.SpanID
+		c.spanBits = childBits(s.spanBits, name, idx)
+		c.node.SpanID = hex64(c.spanBits)
+	}
 	return c
 }
 
 // End records the span's duration; a root span additionally publishes its
-// tree to the last-run store under its name.
+// tree to the last-run store under its name (and, when tracing is on, to
+// the bounded trace store for /tracez export). End after End is a no-op.
 func (s *ActiveSpan) End() {
+	if s.ended.Swap(true) {
+		mSpanDoubleClose.Inc()
+		return
+	}
+	mSpansEnded.Inc()
 	s.node.DurationNanos = int64(time.Since(s.start))
 	if s.root {
 		defaultRuns.setSpan(s.node)
+		if tracingEnabled.Load() && s.node.TraceID != "" {
+			defaultTraces.add(s.node)
+			traceRootCounter(spanComponent(s.node.Name)).Inc()
+			FlightRecordTrace("trace", "span-root",
+				s.node.Name+" dur="+s.node.Duration().String(), s.node.TraceID)
+		}
 	}
 }
 

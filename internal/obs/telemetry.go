@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Convergence-telemetry sink: an opt-in JSONL file (-telemetry-out) that
+// solver layers append structured records to — per-CGBD-solve bound-gap /
+// incumbent / welfare series with trace-ID exemplars, per-fleet-batch
+// aggregates, per-campaign-epoch aggregates. One record per line, so
+// EXPERIMENTS.md plots can stream it with any JSONL reader. When no sink
+// is open, EmitTelemetry is a single atomic load.
+
+type telemetrySink struct {
+	mu  sync.Mutex
+	f   *os.File
+	buf *bufio.Writer
+}
+
+var activeTelemetry atomic.Pointer[telemetrySink]
+
+var mTelemetryRecords = NewCounter("tradefl_telemetry_records_total",
+	"Records written to the -telemetry-out JSONL sink.")
+
+// OpenTelemetry opens (truncating) the JSONL telemetry sink at path,
+// replacing any open sink.
+func OpenTelemetry(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: telemetry sink: %w", err)
+	}
+	s := &telemetrySink{f: f, buf: bufio.NewWriter(f)}
+	if old := activeTelemetry.Swap(s); old != nil {
+		_ = old.close()
+	}
+	return nil
+}
+
+// TelemetryOpen reports whether a sink is currently open (emitters may
+// skip building records entirely when it is not).
+func TelemetryOpen() bool { return activeTelemetry.Load() != nil }
+
+// EmitTelemetry appends one JSON record (a struct or map that marshals to
+// an object, conventionally carrying a "kind" field) as a line to the open
+// sink. A no-op when no sink is open; marshal failures are logged, never
+// fatal — telemetry must not take down a solve.
+func EmitTelemetry(record any) {
+	s := activeTelemetry.Load()
+	if s == nil {
+		return
+	}
+	raw, err := json.Marshal(record)
+	if err != nil {
+		Component("obs").Warn("telemetry record dropped", "err", err)
+		return
+	}
+	s.mu.Lock()
+	if s.buf != nil {
+		s.buf.Write(raw)
+		s.buf.WriteByte('\n')
+		mTelemetryRecords.Inc()
+	}
+	s.mu.Unlock()
+}
+
+func (s *telemetrySink) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.buf == nil {
+		return nil
+	}
+	err := s.buf.Flush()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.buf, s.f = nil, nil
+	return err
+}
+
+// CloseTelemetry flushes and closes the sink, if open.
+func CloseTelemetry() error {
+	if s := activeTelemetry.Swap(nil); s != nil {
+		return s.close()
+	}
+	return nil
+}

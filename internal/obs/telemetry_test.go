@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTelemetrySinkWritesJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "telemetry.jsonl")
+	if err := OpenTelemetry(path); err != nil {
+		t.Fatal(err)
+	}
+	if !TelemetryOpen() {
+		t.Fatal("sink not reported open")
+	}
+	EmitTelemetry(map[string]any{"kind": "test.alpha", "value": 1.5})
+	EmitTelemetry(struct {
+		Kind string `json:"kind"`
+		Iter int    `json:"iterations"`
+	}{"test.beta", 12})
+	if err := CloseTelemetry(); err != nil {
+		t.Fatal(err)
+	}
+	if TelemetryOpen() {
+		t.Error("sink still reported open after close")
+	}
+	// Emitting into a closed sink is a silent no-op, not a crash.
+	EmitTelemetry(map[string]any{"kind": "dropped"})
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sink holds %d lines, want 2:\n%s", len(lines), data)
+	}
+	var kinds []string
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		kinds = append(kinds, rec["kind"].(string))
+	}
+	if kinds[0] != "test.alpha" || kinds[1] != "test.beta" {
+		t.Errorf("record kinds = %v", kinds)
+	}
+}
+
+func TestTelemetryReopenReplacesSink(t *testing.T) {
+	dir := t.TempDir()
+	first := filepath.Join(dir, "a.jsonl")
+	second := filepath.Join(dir, "b.jsonl")
+	if err := OpenTelemetry(first); err != nil {
+		t.Fatal(err)
+	}
+	EmitTelemetry(map[string]string{"kind": "one"})
+	if err := OpenTelemetry(second); err != nil {
+		t.Fatal(err)
+	}
+	EmitTelemetry(map[string]string{"kind": "two"})
+	if err := CloseTelemetry(); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(first)
+	b, _ := os.ReadFile(second)
+	if !strings.Contains(string(a), `"one"`) || strings.Contains(string(a), `"two"`) {
+		t.Errorf("first sink content wrong: %q", a)
+	}
+	if !strings.Contains(string(b), `"two"`) {
+		t.Errorf("second sink content wrong: %q", b)
+	}
+}

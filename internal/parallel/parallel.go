@@ -16,6 +16,7 @@ import (
 	"context"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,10 +88,30 @@ func Resolve(workers int) int {
 	}
 }
 
+// PhaseLabel is the pprof label key worker goroutines are tagged with, so
+// CPU profiles (`go tool pprof -tagfocus`) attribute samples to solver
+// phases (dbr scan, pruned/traversal master kernels, fleet batch).
+const PhaseLabel = "tradefl_phase"
+
+// labeled wraps a worker body in runtime/pprof.Do under PhaseLabel=label;
+// an empty label runs the body directly (no context or label-map cost).
+func labeled(label string, body func()) {
+	if label == "" {
+		body()
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels(PhaseLabel, label), func(context.Context) { body() })
+}
+
 // For runs fn(i) for every i in [0, n), using at most workers goroutines.
 // workers ≤ 1 or n ≤ 1 runs inline on the calling goroutine in index
 // order. It returns when every call has completed.
-func For(workers, n int, fn func(i int)) {
+func For(workers, n int, fn func(i int)) { ForLabeled("", workers, n, fn) }
+
+// ForLabeled is For with worker goroutines carrying the pprof phase label.
+// The inline path (workers ≤ 1) skips labeling: it runs on the caller's
+// goroutine, whose labels belong to the caller.
+func ForLabeled(label string, workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -110,13 +131,15 @@ func For(workers, n int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			labeled(label, func() {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					fn(i)
 				}
-				fn(i)
-			}
+			})
 		}()
 	}
 	wg.Wait()
@@ -128,6 +151,12 @@ func For(workers, n int, fn func(i int)) {
 // cancelled with no fn error. Indices already started always run to
 // completion.
 func ForCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForCtxLabeled(ctx, "", workers, n, fn)
+}
+
+// ForCtxLabeled is ForCtx with worker goroutines carrying the pprof phase
+// label (see ForLabeled).
+func ForCtxLabeled(ctx context.Context, label string, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -158,21 +187,23 @@ func ForCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for !stopped.Load() && ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if i < firstI {
-						firstI, firstE = i, err
+			labeled(label, func() {
+				for !stopped.Load() && ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
 					}
-					mu.Unlock()
-					stopped.Store(true)
-					return
+					if err := fn(i); err != nil {
+						mu.Lock()
+						if i < firstI {
+							firstI, firstE = i, err
+						}
+						mu.Unlock()
+						stopped.Store(true)
+						return
+					}
 				}
-			}
+			})
 		}()
 	}
 	wg.Wait()
@@ -186,6 +217,17 @@ func ForCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 // and returns the results in index order.
 func Map[T any](workers, n int, fn func(i int) T) []T {
 	return MapInto(nil, workers, n, fn)
+}
+
+// MapLabeled is Map with worker goroutines carrying the pprof phase label.
+func MapLabeled[T any](label string, workers, n int, fn func(i int) T) []T {
+	var dst []T
+	if cap(dst) < n {
+		dst = make([]T, n)
+	}
+	dst = dst[:n]
+	ForLabeled(label, workers, n, func(i int) { dst[i] = fn(i) })
+	return dst
 }
 
 // MapInto is Map writing into caller-provided storage: dst is resized (or

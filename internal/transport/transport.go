@@ -15,6 +15,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"tradefl/internal/obs"
 )
 
 // Message is one unit of protocol traffic.
@@ -23,6 +25,10 @@ type Message struct {
 	From string `json:"from"`
 	// Type tags the protocol message kind.
 	Type string `json:"type"`
+	// Trace optionally carries distributed-trace propagation context; the
+	// fabric forwards it opaquely (duplicated or replayed frames carry the
+	// same context, so receiver-side dedup also dedups trace continuation).
+	Trace *obs.TraceContext `json:"trace,omitempty"`
 	// Payload carries the JSON-encoded protocol body.
 	Payload json.RawMessage `json:"payload,omitempty"`
 }
@@ -295,6 +301,8 @@ func (n *TCPNode) Send(to string, msg Message) error {
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			mSendRetries.Inc()
+			obs.FlightRecord("transport", "send-retry",
+				fmt.Sprintf("%s->%s attempt %d: %v", n.name, to, attempt+1, lastErr))
 			tLog.Debug("retrying send", "node", n.name, "to", to, "attempt", attempt+1, "err", lastErr)
 			time.Sleep(backoff * time.Duration(attempt))
 			// The node may have closed while we were backing off.
@@ -310,6 +318,8 @@ func (n *TCPNode) Send(to string, msg Message) error {
 		}
 	}
 	mSendFailures.Inc()
+	obs.FlightRecord("transport", "send-failed",
+		fmt.Sprintf("%s->%s after %d attempts: %v", n.name, to, attempts, lastErr))
 	return lastErr
 }
 

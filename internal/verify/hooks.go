@@ -2,6 +2,7 @@ package verify
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -9,6 +10,7 @@ import (
 	"tradefl/internal/dbr"
 	"tradefl/internal/game"
 	"tradefl/internal/gbd"
+	"tradefl/internal/obs"
 )
 
 // global is the process-wide auditor installed by Enable (nil when
@@ -70,11 +72,15 @@ func Count() int64 {
 // Finish folds the process-wide audit into an exit decision: nil when
 // auditing is off or clean, an error carrying the violation summary
 // otherwise. The cmds call it after their run so -verify turns any
-// invariant breach into a nonzero exit.
+// invariant breach into a nonzero exit. A dirty audit also dumps the
+// flight recorder to stderr: the ring holds the fault injections, retries
+// and span roots leading up to the breach, which is exactly the context a
+// violation post-mortem needs.
 func Finish() error {
 	a := global.Load()
 	if a == nil || a.Count() == 0 {
 		return nil
 	}
+	obs.DumpFlight(os.Stderr, fmt.Sprintf("verify: %d violation(s)", a.Count()))
 	return fmt.Errorf("verify: %d invariant violation(s) in %d checks\n%s", a.Count(), a.Checks(), a.Summary())
 }

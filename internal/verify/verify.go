@@ -173,6 +173,7 @@ func (a *Auditor) violate(family *obs.Counter, v Violation) {
 	a.count.Add(1)
 	mViolations.Inc()
 	family.Inc()
+	obs.FlightRecord("verify", "violation", fmt.Sprintf("check=%s source=%s delta=%g detail=%s", v.Check, v.Source, v.Delta, v.Detail))
 	vLog.Warn("invariant violation", "check", v.Check, "source", v.Source, "detail", v.Detail, "delta", v.Delta)
 	a.mu.Lock()
 	if len(a.violations) < a.opts.MaxViolations {

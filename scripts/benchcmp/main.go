@@ -122,9 +122,21 @@ func load(path string) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	prof := map[string]float64{}
-	if err := json.Unmarshal(data, &prof); err != nil {
+	// Profiles may carry non-numeric metadata keys (by convention prefixed
+	// with "_", e.g. BENCH_baseline.json's "_notes"); only numeric entries
+	// are benchmarks.
+	raw := map[string]any{}
+	if err := json.Unmarshal(data, &raw); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	prof := map[string]float64{}
+	for name, v := range raw {
+		if ns, ok := v.(float64); ok {
+			prof[name] = ns
+		}
+	}
+	if len(prof) == 0 {
+		return nil, fmt.Errorf("%s: no numeric benchmark entries", path)
 	}
 	return prof, nil
 }

@@ -90,6 +90,56 @@ echo "==> chaos smoke (seeded soak under -race)"
 # leaks a single wei.
 scripts/chaos.sh "seed=${CHAOS_SEED:-7},drop=0.15,dup=0.05,delayp=0.1,delaymax=15ms,rpcfail=0.1,rpclost=0.05,orgs=3,game=5"
 
+echo "==> obs-v2 gate (tracing, flight recorder, telemetry)"
+# Race-check the instrumentation fabric itself first: spans, the flight
+# ring and trace propagation are touched from every worker goroutine.
+go test -race ./internal/obs/ ./internal/transport/
+OBS_DIR="$(mktemp -d)"
+OBS_BIN="$OBS_DIR/tradefl-sim"
+go build -o "$OBS_BIN" ./cmd/tradefl-sim
+
+# A seeded traced soak must export one trace that crosses the solver, the
+# ring and the chain — the cross-process propagation contract. Foreground:
+# -trace-out flushes on exit, which a killed background run would skip.
+"$OBS_BIN" -chaos "seed=${CHAOS_SEED:-7},drop=0.1,dup=0.05,orgs=3,game=5" \
+  -trace-out "$OBS_DIR/chaos-trace.json" >/dev/null
+go run ./scripts/tracecheck -min-components 3 "$OBS_DIR/chaos-trace.json"
+
+# A traced fleet batch must join solver spans to the batch trace and emit
+# per-solve + per-batch convergence telemetry. plan=pruned forces the CGBD
+# path: DBR solves emit no gbd.solve records.
+"$OBS_BIN" -fleet 64 -plan pruned -summary none \
+  -trace-out "$OBS_DIR/fleet-trace.json" \
+  -telemetry-out "$OBS_DIR/fleet-telemetry.jsonl" >/dev/null
+go run ./scripts/tracecheck -min-components 2 "$OBS_DIR/fleet-trace.json"
+grep -q '"kind":"gbd.solve"' "$OBS_DIR/fleet-telemetry.jsonl" \
+  || { echo "obs smoke: no gbd.solve telemetry records"; exit 1; }
+grep -q '"kind":"fleet.batch"' "$OBS_DIR/fleet-telemetry.jsonl" \
+  || { echo "obs smoke: no fleet.batch telemetry record"; exit 1; }
+
+# Live endpoints: /tracez?fmt=chrome and /flightz on a held diag server.
+OBS_ADDR="${OBS_ADDR:-127.0.0.1:6162}"
+TRADEFL_TRACE=1 "$OBS_BIN" -fleet 32 -plan pruned -summary none \
+  -diag-addr "$OBS_ADDR" -diag-hold 60s >/dev/null &
+OBS_PID=$!
+trap 'kill "$OBS_PID" 2>/dev/null || true' EXIT
+up=0
+for _ in $(seq 1 50); do
+  if curl -fsS "http://$OBS_ADDR/healthz" 2>/dev/null | grep -q '"status":"ok"'; then
+    up=1
+    break
+  fi
+  sleep 0.2
+done
+[ "$up" -eq 1 ] || { echo "obs smoke: /healthz never became healthy"; exit 1; }
+curl -fsS "http://$OBS_ADDR/tracez?fmt=chrome" > "$OBS_DIR/tracez.json"
+go run ./scripts/tracecheck -min-components 2 "$OBS_DIR/tracez.json"
+curl -fsS "http://$OBS_ADDR/flightz" | grep -q '"reason"' \
+  || { echo "obs smoke: /flightz returned no flight dump"; exit 1; }
+kill "$OBS_PID" 2>/dev/null || true
+wait "$OBS_PID" 2>/dev/null || true
+trap - EXIT
+
 echo "==> bench regression smoke"
 sleep "${BENCH_SETTLE_SECS:-15}" # let CPU contention from the race suite drain
 BENCH_TIME="${BENCH_TIME:-100ms}" BENCH_COUNT="${BENCH_COUNT:-4}" scripts/bench.sh >/dev/null
@@ -107,5 +157,17 @@ go run ./scripts/benchcmp fleet-gate \
   -max-regret "${FLEET_MAX_REGRET_PCT:-50}" \
   -min-solves-per-sec "${FLEET_MIN_SOLVES_PER_SEC:-1000}" \
   BENCH_latest.json
+
+echo "==> obs tracing overhead gate (in-process A/B)"
+# Tracing must not tax the solver hot path: fleet batch solves with
+# tracing enabled must stay within OBS_TRACE_MAX_PCT of untraced CPU
+# time, and the outputs must be byte-identical. scripts/obsgate
+# interleaves traced/untraced reps of the BenchmarkFleetSolve workload
+# inside one process and compares the median per-pair process-CPU ratio —
+# process-level bench A/B (the naive design) reads 10-60% regressions
+# from machine-load noise alone on shared hardware. -plan dbr / -plan
+# pruned isolate the two solver paths when chasing a failure.
+go run ./scripts/obsgate -plan "${OBS_AB_PLAN:-auto}" \
+  -reps "${OBS_AB_PAIRS:-15}" -max-pct "${OBS_TRACE_MAX_PCT:-3}"
 
 echo "==> CI OK"
