@@ -19,8 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"tradefl/internal/dbr"
@@ -90,7 +92,12 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	// SIGINT/SIGTERM cancels the protocol run; node goroutines unwind, TCP
+	// transports close via their defers, and the deferred sink flush above
+	// still writes -trace-out/-telemetry-out.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	ctx, cancel := context.WithTimeout(sigCtx, *timeout)
 	defer cancel()
 	opts := dbr.Options{TokenTimeout: *recovery, SuspectAfter: *suspect}
 	retry := sendPolicy{attempts: *retries, backoff: *backoff}

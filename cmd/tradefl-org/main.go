@@ -14,13 +14,16 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"tradefl/internal/chain"
@@ -129,6 +132,19 @@ func run(args []string) (err error) {
 		MaxRetries: *rpcRetries,
 	})
 	deadline := time.Now().Add(*timeout)
+	// SIGINT/SIGTERM aborts the lifecycle between polls; every phase is
+	// idempotent (isAlready), so a re-run resumes where this one stopped,
+	// and the deferred sink flush above still writes the obs outputs.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	pollWait := func() error {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("interrupted: %w", ctx.Err())
+		case <-time.After(*poll):
+			return nil
+		}
+	}
 	send := func(fn chain.Function, fnArgs any, value chain.Wei) error {
 		nonce, err := client.Nonce(acct.Address())
 		if err != nil {
@@ -162,7 +178,9 @@ func run(args []string) (err error) {
 			if time.Now().After(deadline) {
 				return fmt.Errorf("receipt for %s: %w", fn, err)
 			}
-			time.Sleep(*poll)
+			if werr := pollWait(); werr != nil {
+				return werr
+			}
 		}
 	}
 	waitFor := func(phase string, ok func(chain.ContractStatus) bool) error {
@@ -177,7 +195,9 @@ func run(args []string) (err error) {
 			if time.Now().After(deadline) {
 				return fmt.Errorf("timed out waiting for %s (status %+v)", phase, st)
 			}
-			time.Sleep(*poll)
+			if werr := pollWait(); werr != nil {
+				return werr
+			}
 		}
 	}
 
@@ -227,7 +247,9 @@ func run(args []string) (err error) {
 			if time.Now().After(deadline) {
 				return fmt.Errorf("reveal timed out: %w", err)
 			}
-			time.Sleep(*poll)
+			if werr := pollWait(); werr != nil {
+				return werr
+			}
 		}
 		fmt.Println("contribution revealed")
 	} else {

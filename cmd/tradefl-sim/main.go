@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"tradefl/internal/chaos"
@@ -50,7 +52,8 @@ func run(args []string) (err error) {
 		fig      = fs.String("fig", "", "experiment id to run (see -list)")
 		all      = fs.Bool("all", false, "run every experiment")
 		list     = fs.Bool("list", false, "list experiment ids")
-		chaosRun = fs.String("chaos", "", "run a seeded chaos soak instead of an experiment, e.g. \"seed=7,drop=0.15,rpclost=0.05\" (keys: seed drop dup delayp delaymin delaymax partition crash rpcfail rpclost rpcdelayp orgs game token suspect seal settle)")
+		chaosRun = fs.String("chaos", "", "run a seeded chaos soak instead of an experiment, e.g. \"seed=7,drop=0.15,rpclost=0.05\" (keys: seed drop dup delayp delaymin delaymax partition crash rpcfail rpclost rpcdelayp orgs game token suspect seal settle crashcycles crashmin crashmax snapevery waldir)")
+		walDir   = fs.String("wal-dir", "", "with -chaos crashcycles: keep the soak's WAL/snapshot directory here instead of a temp dir (left behind for inspection)")
 		seed     = fs.Int64("seed", 7, "random seed of the reference instance")
 		quick    = fs.Bool("quick", false, "coarse sweeps and short FL runs")
 		out      = fs.String("out", "", "directory for CSV files (default stdout)")
@@ -93,12 +96,19 @@ func run(args []string) (err error) {
 	if *verifyOn {
 		verify.Enable(verify.Options{})
 	}
+	// SIGINT/SIGTERM cancels the run; the deferred sink flush above still
+	// runs, so partial traces/telemetry survive an interrupted soak.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *chaosRun != "" {
 		copts, err := chaos.ParseSpec(*chaosRun)
 		if err != nil {
 			return err
 		}
-		rep, err := chaos.Run(context.Background(), copts)
+		if *walDir != "" {
+			copts.WALDir = *walDir
+		}
+		rep, err := chaos.Run(ctx, copts)
 		if err != nil {
 			return err
 		}
@@ -117,7 +127,7 @@ func run(args []string) (err error) {
 	}
 	if *fleetN > 0 {
 		start := time.Now()
-		if err := runFleet(context.Background(), *fleetN, *planName, *planProf, *seed); err != nil {
+		if err := runFleet(ctx, *fleetN, *planName, *planProf, *seed); err != nil {
 			return err
 		}
 		if err := printSummary(*summary, time.Since(start)); err != nil {
@@ -147,6 +157,9 @@ func run(args []string) (err error) {
 	start := time.Now()
 	opts := experiments.Options{Seed: *seed, Quick: *quick}
 	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("interrupted before %s: %w", id, err)
+		}
 		figure, err := experiments.Run(id, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)

@@ -22,6 +22,11 @@ var (
 	// whose first submission's response was lost can retry blindly and
 	// treat this error as acceptance (chain.IsAlreadyKnown).
 	ErrTxAlreadyKnown = errors.New("chain: transaction already known")
+	// ErrStaleTerm rejects a sealed block whose fencing term is below the
+	// chain's current term: after a standby promoted itself, blocks from
+	// the deposed (possibly revived) primary carry the old term and must
+	// not be able to fork the chain.
+	ErrStaleTerm = errors.New("chain: stale fencing term")
 )
 
 // Receipt reports the outcome of one transaction inside a block.
@@ -41,7 +46,13 @@ type Block struct {
 	Txs       []Transaction `json:"txs"`
 	Receipts  []Receipt     `json:"receipts"`
 	Sealer    []byte        `json:"sealer"` // authority public key
-	Seal      []byte        `json:"seal"`   // signature over the header hash
+	// Term is the fencing term of the sealing validator; it may only grow
+	// along the chain, so a deposed primary (term n) cannot extend a chain
+	// a promoted standby (term n+1) already sealed on. omitempty keeps
+	// term-0 headers (and their hashes) byte-identical to pre-failover
+	// history.
+	Term uint64 `json:"term,omitempty"`
+	Seal []byte `json:"seal"` // signature over the header hash
 }
 
 // headerPayload is what the authority signs.
@@ -53,6 +64,7 @@ type headerPayload struct {
 	Txs       []Transaction `json:"txs"`
 	Receipts  []Receipt     `json:"receipts"`
 	Sealer    []byte        `json:"sealer"`
+	Term      uint64        `json:"term,omitempty"`
 }
 
 // HeaderHash returns the digest the seal covers.
@@ -60,6 +72,7 @@ func (b *Block) HeaderHash() (string, error) {
 	raw, err := json.Marshal(headerPayload{
 		Height: b.Height, PrevHash: b.PrevHash, StateRoot: b.StateRoot,
 		TxRoot: b.TxRoot, Txs: b.Txs, Receipts: b.Receipts, Sealer: b.Sealer,
+		Term: b.Term,
 	})
 	if err != nil {
 		return "", fmt.Errorf("chain: marshal header: %w", err)
@@ -110,6 +123,30 @@ type Blockchain struct {
 	blocks    []*Block
 	st        *state
 	pool      []Transaction
+
+	// Mempool/receipt indexes, maintained under mu: poolHash dedups
+	// pending txs, nextNonce tracks the pending nonce frontier per sender
+	// (empty entries fall back to the state nonce), sealedRcpt maps a tx
+	// hash to its sealed receipt. They keep SubmitTx and receipt lookups
+	// O(1) instead of scanning the pool and every sealed block.
+	poolHash   map[string]struct{}
+	nextNonce  map[Address]uint64
+	sealedRcpt map[string]*Receipt
+
+	// params and alloc reproduce genesis; snapshots embed them so recovery
+	// is self-contained.
+	params ContractParams
+	alloc  GenesisAlloc
+
+	// term is the fencing term this validator seals with (see Promote).
+	term uint64
+
+	// wal, when attached, makes every accepted tx and sealed block durable
+	// before it is acknowledged. After a WAL write error the chain refuses
+	// all further durable operations (the error is sticky); callers must
+	// treat that as fatal. ckptMu serializes Checkpoint runs.
+	wal    *WAL
+	ckptMu sync.Mutex
 }
 
 // GenesisAlloc funds accounts at genesis.
@@ -133,7 +170,15 @@ func NewBlockchain(authority *Account, params ContractParams, alloc GenesisAlloc
 		}
 		st.Balances[addr] = amt
 	}
-	bc := &Blockchain{authority: authority, st: st}
+	bc := &Blockchain{
+		authority:  authority,
+		st:         st,
+		poolHash:   map[string]struct{}{},
+		nextNonce:  map[Address]uint64{},
+		sealedRcpt: map[string]*Receipt{},
+		params:     params,
+		alloc:      alloc,
+	}
 	root, err := st.root()
 	if err != nil {
 		return nil, err
@@ -159,6 +204,11 @@ func (bc *Blockchain) seal(b *Block) error {
 // resubmission (same hash) of a pending or sealed transaction is rejected
 // with ErrTxAlreadyKnown, which retrying clients treat as success — the
 // dedup that makes at-least-once submission safe under lost responses.
+//
+// With a WAL attached, SubmitTx returns only after the transaction is
+// fsynced (group commit): acceptance survives kill -9, and because the
+// mempool is rebuilt from the log on recovery, the dedup above survives
+// restarts too — a client retrying across a crash cannot double-apply.
 func (bc *Blockchain) SubmitTx(tx Transaction) error {
 	if err := tx.Verify(); err != nil {
 		return err
@@ -167,31 +217,62 @@ func (bc *Blockchain) SubmitTx(tx Transaction) error {
 	if err != nil {
 		return err
 	}
+	// Pre-encode the WAL record outside the chain lock; it is discarded if
+	// validation rejects the tx. bc.wal is fixed before concurrent use.
+	var frames []byte
+	if bc.wal != nil {
+		if frames, err = encodeWalRec(walRec{Kind: recTx, Tx: &tx}); err != nil {
+			return err
+		}
+	}
 	bc.mu.Lock()
-	defer bc.mu.Unlock()
-	for _, p := range bc.pool {
-		if h, err := p.Hash(); err == nil && h == hash {
-			mTxDeduped.Inc()
-			return fmt.Errorf("%w: %s pending", ErrTxAlreadyKnown, hash)
-		}
+	ticket, err := bc.admitTxLocked(tx, hash, frames)
+	bc.mu.Unlock()
+	if err != nil {
+		return err
 	}
-	if rcpt := bc.receiptLocked(hash); rcpt != nil {
-		mTxDeduped.Inc()
-		return fmt.Errorf("%w: %s sealed at height %d", ErrTxAlreadyKnown, hash, rcpt.Height)
+	if err := ticket.wait(); err != nil {
+		return fmt.Errorf("chain: tx not durable: %w", err)
 	}
-	// Nonce must follow the pending sequence (state nonce + queued txs).
-	expected := bc.st.Nonces[tx.From]
-	for _, p := range bc.pool {
-		if p.From == tx.From {
-			expected++
-		}
-	}
-	if tx.Nonce != expected {
-		return fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, expected)
-	}
-	bc.pool = append(bc.pool, tx)
 	mTxSubmitted.Inc()
 	return nil
+}
+
+// admitTxLocked validates tx against the mempool indexes, appends it to
+// the pool and enqueues its WAL record (chain order == log order because
+// every enqueue happens under bc.mu). A nil ticket with nil error means no
+// WAL is attached.
+func (bc *Blockchain) admitTxLocked(tx Transaction, hash string, frames []byte) (*walTicket, error) {
+	// A dead WAL fails everything up front — including dedup hits, which
+	// must not masquerade as durable acceptance.
+	if bc.wal != nil {
+		if err := bc.wal.Err(); err != nil {
+			return nil, fmt.Errorf("chain: wal unavailable: %w", err)
+		}
+	}
+	if _, dup := bc.poolHash[hash]; dup {
+		mTxDeduped.Inc()
+		return nil, fmt.Errorf("%w: %s pending", ErrTxAlreadyKnown, hash)
+	}
+	if rcpt := bc.sealedRcpt[hash]; rcpt != nil {
+		mTxDeduped.Inc()
+		return nil, fmt.Errorf("%w: %s sealed at height %d", ErrTxAlreadyKnown, hash, rcpt.Height)
+	}
+	// Nonce must follow the pending sequence (state nonce + queued txs).
+	expected, queued := bc.nextNonce[tx.From]
+	if !queued {
+		expected = bc.st.Nonces[tx.From]
+	}
+	if tx.Nonce != expected {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, expected)
+	}
+	bc.pool = append(bc.pool, tx)
+	bc.poolHash[hash] = struct{}{}
+	bc.nextNonce[tx.From] = expected + 1
+	if bc.wal == nil {
+		return nil, nil
+	}
+	return bc.wal.enqueue(frames, walRec{Kind: recTx, Tx: &tx}), nil
 }
 
 // PendingCount returns the mempool size.
@@ -203,10 +284,30 @@ func (bc *Blockchain) PendingCount() int {
 
 // SealBlock applies every pending transaction (in submission order) and
 // appends a sealed block. Failed transactions are included with an error
-// receipt; their state effects are rolled back individually.
+// receipt; their state effects are rolled back individually. With a WAL
+// attached the call returns only after the block record is fsynced.
 func (bc *Blockchain) SealBlock() (*Block, error) {
 	bc.mu.Lock()
-	defer bc.mu.Unlock()
+	b, ticket, err := bc.sealBlockLocked()
+	bc.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := ticket.wait(); err != nil {
+		return nil, fmt.Errorf("chain: block not durable: %w", err)
+	}
+	return b, nil
+}
+
+// sealBlockLocked builds, applies and appends the next block under bc.mu,
+// enqueueing its WAL record in chain order. The caller waits on the
+// returned ticket outside the lock.
+func (bc *Blockchain) sealBlockLocked() (*Block, *walTicket, error) {
+	if bc.wal != nil {
+		if err := bc.wal.Err(); err != nil {
+			return nil, nil, fmt.Errorf("chain: wal unavailable: %w", err)
+		}
+	}
 	sealStart := time.Now()
 	defer mSealSec.ObserveSince(sealStart)
 	height := uint64(len(bc.blocks))
@@ -222,15 +323,15 @@ func (bc *Blockchain) SealBlock() (*Block, error) {
 	}
 	root, err := bc.st.root()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	prev, err := bc.blocks[len(bc.blocks)-1].HeaderHash()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hashes, err := txHashes(bc.pool)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	b := &Block{
 		Height:    height,
@@ -240,15 +341,36 @@ func (bc *Blockchain) SealBlock() (*Block, error) {
 		Txs:       bc.pool,
 		Receipts:  receipts,
 		Sealer:    bc.authority.PublicKey(),
+		Term:      bc.term,
 	}
 	if err := bc.seal(b); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	var ticket *walTicket
+	if bc.wal != nil {
+		frames, err := encodeWalRec(walRec{Kind: recBlock, Block: b})
+		if err != nil {
+			return nil, nil, err
+		}
+		ticket = bc.wal.enqueue(frames, walRec{Kind: recBlock, Block: b})
+	}
+	bc.appendBlockLocked(b)
+	return b, ticket, nil
+}
+
+// appendBlockLocked installs a sealed block: chain append, receipt index,
+// mempool reset (every pool tx consumed its nonce, so the state nonces are
+// now the frontier again).
+func (bc *Blockchain) appendBlockLocked(b *Block) {
 	bc.blocks = append(bc.blocks, b)
+	for i := range b.Receipts {
+		bc.sealedRcpt[b.Receipts[i].TxHash] = &b.Receipts[i]
+	}
 	bc.pool = nil
+	bc.poolHash = map[string]struct{}{}
+	bc.nextNonce = map[Address]uint64{}
 	mBlocks.Inc()
-	mHeight.Set(float64(height))
-	return b, nil
+	mHeight.Set(float64(b.Height))
 }
 
 // applyTx executes one transaction against the live state, rolling back on
@@ -335,16 +457,12 @@ func (bc *Blockchain) ReceiptByHash(txHash string) (*Receipt, error) {
 	return nil, fmt.Errorf("chain: no sealed receipt for tx %s", txHash)
 }
 
-// receiptLocked scans sealed blocks newest-first for txHash; callers hold
-// at least a read lock.
+// receiptLocked looks up the sealed receipt of txHash in the receipt
+// index; callers hold at least a read lock.
 func (bc *Blockchain) receiptLocked(txHash string) *Receipt {
-	for i := len(bc.blocks) - 1; i >= 0; i-- {
-		for _, r := range bc.blocks[i].Receipts {
-			if r.TxHash == txHash {
-				rcpt := r
-				return &rcpt
-			}
-		}
+	if r := bc.sealedRcpt[txHash]; r != nil {
+		rcpt := *r
+		return &rcpt
 	}
 	return nil
 }
@@ -378,6 +496,9 @@ func (bc *Blockchain) VerifyChain() error {
 			if b.PrevHash != prev {
 				return fmt.Errorf("%w at height %d", ErrBrokenLink, b.Height)
 			}
+			if b.Term < bc.blocks[i-1].Term {
+				return fmt.Errorf("%w: height %d term %d after term %d", ErrStaleTerm, b.Height, b.Term, bc.blocks[i-1].Term)
+			}
 		}
 		for k := range b.Txs {
 			if err := b.Txs[k].Verify(); err != nil {
@@ -393,6 +514,120 @@ func (bc *Blockchain) VerifyChain() error {
 		}
 	}
 	return nil
+}
+
+// StateRoot returns the state root of the latest sealed block — the
+// digest the crash-recovery harness compares across kill/restart cycles.
+func (bc *Blockchain) StateRoot() string {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return bc.blocks[len(bc.blocks)-1].StateRoot
+}
+
+// Term returns the current fencing term of this validator.
+func (bc *Blockchain) Term() uint64 {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return bc.term
+}
+
+// Promote bumps the fencing term, durably (the term record is fsynced
+// before Promote returns when a WAL is attached). A standby calls it when
+// taking over sealing: every block it seals afterwards carries the higher
+// term, and ApplySealedBlock rejects blocks from the deposed primary.
+func (bc *Blockchain) Promote() (uint64, error) {
+	bc.mu.Lock()
+	bc.term++
+	term := bc.term
+	var ticket *walTicket
+	if bc.wal != nil {
+		frames, err := encodeWalRec(walRec{Kind: recTerm, Term: term})
+		if err != nil {
+			bc.term--
+			bc.mu.Unlock()
+			return 0, err
+		}
+		ticket = bc.wal.enqueue(frames, walRec{Kind: recTerm, Term: term})
+	}
+	bc.mu.Unlock()
+	if err := ticket.wait(); err != nil {
+		return 0, fmt.Errorf("chain: term bump not durable: %w", err)
+	}
+	mTerm.Set(float64(term))
+	return term, nil
+}
+
+// ApplySealedBlock verifies and installs a block sealed elsewhere (the
+// replication path of a standby validator). It re-executes the block's
+// transactions against the local state and requires the resulting header
+// to hash identically — the standby never trusts the primary's roots.
+// Fencing: a block whose term is below the local term is rejected with
+// ErrStaleTerm before any state is touched, so a revived primary cannot
+// fork a chain its successor already extended.
+func (bc *Blockchain) ApplySealedBlock(stored *Block) error {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if stored.Term < bc.term {
+		mStaleSeals.Inc()
+		return fmt.Errorf("%w: block term %d below local term %d", ErrStaleTerm, stored.Term, bc.term)
+	}
+	return bc.applyStoredBlockLocked(stored)
+}
+
+// applyStoredBlockLocked replays stored on top of the current state: the
+// local pending pool must contain exactly the block's transactions (in
+// order), and the re-sealed block must hash identically to stored. On
+// success the block is appended and the pool reset.
+func (bc *Blockchain) applyStoredBlockLocked(stored *Block) error {
+	if want := uint64(len(bc.blocks)); stored.Height != want {
+		return fmt.Errorf("chain: sealed block height %d, want %d", stored.Height, want)
+	}
+	if len(stored.Txs) != len(bc.pool) {
+		return fmt.Errorf("chain: sealed block carries %d txs, local pool has %d", len(stored.Txs), len(bc.pool))
+	}
+	savedTerm := bc.term
+	bc.term = stored.Term
+	replayed, ticket, err := bc.sealBlockLocked()
+	if err != nil {
+		bc.term = savedTerm
+		return err
+	}
+	// The local WAL (if any) logs the replayed block; both hash identically
+	// so either copy recovers the same chain.
+	_ = ticket
+	if err := sameBlock(replayed, stored); err != nil {
+		return fmt.Errorf("%w: %v", ErrReplayMismatch, err)
+	}
+	return nil
+}
+
+// setTerm raises the fencing term without sealing (the recovery and
+// replication path for term records; the durable record already exists in
+// the log being replayed or in the primary's WAL).
+func (bc *Blockchain) setTerm(term uint64) {
+	bc.mu.Lock()
+	if term > bc.term {
+		bc.term = term
+	}
+	term = bc.term
+	bc.mu.Unlock()
+	mTerm.Set(float64(term))
+}
+
+// WAL returns the attached write-ahead log, or nil for an in-memory chain.
+func (bc *Blockchain) WAL() *WAL { return bc.wal }
+
+// attachWAL wires the log into the submit/seal paths. It must happen
+// before the chain is shared across goroutines.
+func (bc *Blockchain) attachWAL(w *WAL) { bc.wal = w }
+
+// CloseDurable flushes and closes the WAL (no-op for in-memory chains).
+// The chain refuses durable operations afterwards.
+func (bc *Blockchain) CloseDurable() error {
+	if bc.wal == nil {
+		return nil
+	}
+	return bc.wal.Close()
 }
 
 // TamperBlockForTest mutates a past block's transaction value; only used by

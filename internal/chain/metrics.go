@@ -20,6 +20,27 @@ var (
 	mTxDeduped   = obs.NewCounter("tradefl_chain_tx_deduped_total", "resubmissions rejected because the transaction was already pending or sealed")
 )
 
+// Durability telemetry: write-ahead log traffic and group-commit shape,
+// snapshot/checkpoint activity, recovery work, and the fencing-term state
+// of validator failover.
+var (
+	mWALAppends  = obs.NewCounter("tradefl_chain_wal_records_total", "records made durable in the write-ahead log")
+	mWALBytes    = obs.NewCounter("tradefl_chain_wal_bytes_total", "framed bytes fsynced to the write-ahead log")
+	mWALFsyncs   = obs.NewCounter("tradefl_chain_wal_fsyncs_total", "fsync calls issued by the WAL syncer (one per group commit)")
+	mWALFsyncSec = obs.NewHistogram("tradefl_chain_wal_fsync_seconds", "wall time of one WAL fsync", obs.TimeBuckets)
+	mWALBatch    = obs.NewHistogram("tradefl_chain_wal_batch_records", "records per group commit (batching factor of the syncer)", obs.ExpBuckets(1, 2, 10))
+	mWALSegments = obs.NewCounter("tradefl_chain_wal_rotations_total", "WAL segment rotations (checkpoints)")
+	mSnapshots   = obs.NewCounter("tradefl_chain_snapshots_total", "incremental snapshots written by Checkpoint")
+	mSnapshotSec = obs.NewHistogram("tradefl_chain_snapshot_seconds", "wall time of one Checkpoint incl. snapshot write and segment GC", obs.TimeBuckets)
+	mRecoverSec  = obs.NewHistogram("tradefl_chain_recover_seconds", "wall time of a full Recover (snapshot replay + WAL replay)", obs.TimeBuckets)
+	mRecoverTxs  = obs.NewCounter("tradefl_chain_recover_wal_records_total", "WAL records replayed during recovery")
+	mTornBytes   = obs.NewCounter("tradefl_chain_wal_torn_bytes_total", "bytes truncated off torn WAL tails during recovery")
+	mTerm        = obs.NewGauge("tradefl_chain_term", "current fencing term of this validator")
+	mStaleSeals  = obs.NewCounter("tradefl_chain_stale_term_rejects_total", "sealed blocks rejected because their fencing term was stale (fenced-off revived primary)")
+	mFailovers   = obs.NewCounter("tradefl_chain_failovers_total", "standby promotions to active sealer")
+	mReplApplied = obs.NewCounter("tradefl_chain_replicated_records_total", "WAL records applied by a standby from the replication stream")
+)
+
 // Client-side resilience telemetry: how often the RPC client had to retry
 // a transport failure, gave up, or recovered from a lost response via the
 // already-known dedup path.

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+
+	"tradefl/internal/durable"
 )
 
 // Persistence: the chain can be snapshotted to a JSON file and later
@@ -26,7 +28,9 @@ type chainFile struct {
 var ErrReplayMismatch = errors.New("chain: replay mismatch")
 
 // Save writes the full chain (parameters, genesis allocation, blocks) to
-// path. The live mempool is not persisted.
+// path. The live mempool is not persisted. The replacement is atomic
+// (temp file + fsync + rename): a crash mid-Save leaves either the old
+// complete document or the new one, never a truncated mix.
 func (bc *Blockchain) Save(path string, params ContractParams, alloc GenesisAlloc) error {
 	bc.mu.RLock()
 	doc := chainFile{Params: params, Alloc: alloc, Blocks: bc.blocks}
@@ -35,7 +39,7 @@ func (bc *Blockchain) Save(path string, params ContractParams, alloc GenesisAllo
 	if err != nil {
 		return fmt.Errorf("chain: marshal: %w", err)
 	}
-	return os.WriteFile(path, raw, 0o600)
+	return durable.WriteFileAtomic(path, raw, 0o600)
 }
 
 // Load rebuilds a chain from a file saved with Save, replaying every block

@@ -40,6 +40,7 @@ const (
 	MethodMinDeposit = "tradefl_minDeposit"
 	MethodTxProof    = "tradefl_getTxProof"
 	MethodGetReceipt = "tradefl_getReceipt"
+	MethodStateRoot  = "tradefl_stateRoot"
 )
 
 // rpcRequest is a JSON-RPC 2.0 request. Trace is a TradeFL extension: an
@@ -220,6 +221,8 @@ func (s *Server) dispatch(method string, params json.RawMessage) (any, error) {
 		return s.bc.Nonce(addr), nil
 	case MethodHeight:
 		return s.bc.Height(), nil
+	case MethodStateRoot:
+		return s.bc.StateRoot(), nil
 	case MethodGetBlock:
 		var height uint64
 		if err := json.Unmarshal(params, &height); err != nil {
@@ -566,6 +569,14 @@ func (c *Client) Nonce(addr Address) (uint64, error) {
 	var n uint64
 	err := c.Call(MethodNonce, addr, &n)
 	return n, err
+}
+
+// StateRoot fetches the state root of the latest sealed block — what the
+// crash-recovery harness compares across kill/restart cycles.
+func (c *Client) StateRoot() (string, error) {
+	var root string
+	err := c.Call(MethodStateRoot, nil, &root)
+	return root, err
 }
 
 // Status fetches the contract settlement status.

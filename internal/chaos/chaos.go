@@ -29,7 +29,6 @@ import (
 	"tradefl/internal/faults"
 	"tradefl/internal/game"
 	"tradefl/internal/obs"
-	"tradefl/internal/randx"
 	"tradefl/internal/transport"
 	"tradefl/internal/verify"
 )
@@ -55,6 +54,22 @@ type Options struct {
 	SealInterval time.Duration
 	// SettleTimeout bounds the settlement phase (default 2m).
 	SettleTimeout time.Duration
+	// CrashCycles > 0 runs the settlement phase on a WAL-backed chain and
+	// kill -9s the validator that many times mid-settlement (aborting the
+	// WAL without flushing, chopping a seeded number of bytes off the torn
+	// tail, recovering, and re-serving on the same address). Every recovery
+	// must reproduce exactly the durable prefix — the operations whose
+	// submitters saw an acknowledgement.
+	CrashCycles int
+	// CrashMin/CrashMax bound the seeded uptime between recoveries
+	// (defaults 150ms..500ms).
+	CrashMin, CrashMax time.Duration
+	// SnapshotEvery checkpoints (incremental snapshot + WAL GC) after every
+	// Nth recovery (default 2; negative disables mid-soak checkpoints).
+	SnapshotEvery int
+	// WALDir is the durable chain's directory (default: a fresh temp dir,
+	// removed after the soak).
+	WALDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -75,6 +90,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SettleTimeout <= 0 {
 		o.SettleTimeout = 2 * time.Minute
+	}
+	if o.CrashCycles > 0 {
+		if o.CrashMin <= 0 {
+			o.CrashMin = 150 * time.Millisecond
+		}
+		if o.CrashMax < o.CrashMin {
+			o.CrashMax = o.CrashMin + 350*time.Millisecond
+		}
+		if o.SnapshotEvery == 0 {
+			o.SnapshotEvery = 2
+		}
 	}
 	return o
 }
@@ -105,6 +131,22 @@ type Report struct {
 	// RingElapsed and SettleElapsed are the two phases' wall times.
 	RingElapsed   time.Duration `json:"ringElapsed"`
 	SettleElapsed time.Duration `json:"settleElapsed"`
+
+	// Durable is true when the settlement ran on a WAL-backed chain under
+	// crash cycles; the four fields below are only meaningful then.
+	Durable bool `json:"durable,omitempty"`
+	// Crashes counts completed kill/recover cycles; Checkpoints counts
+	// mid-soak incremental snapshots.
+	Crashes     int `json:"crashes,omitempty"`
+	Checkpoints int `json:"checkpoints,omitempty"`
+	// RecoveredExact is true when every recovery reproduced exactly the
+	// durable prefix: sealed height, state root, and pending-pool size all
+	// equal to what the WAL had acknowledged at the kill, and the recovered
+	// chain re-verified end to end.
+	RecoveredExact bool `json:"recoveredExact,omitempty"`
+	// PITRVerified is the point-in-time recovery spot check: a read-only
+	// view at a mid-soak height must rebuild and re-verify.
+	PITRVerified bool `json:"pitrVerified,omitempty"`
 }
 
 // Err returns nil when every acceptance check of the soak holds.
@@ -125,6 +167,17 @@ func (r *Report) Err() error {
 	if !r.ChainVerified {
 		bad = append(bad, "chain re-validation failed")
 	}
+	if r.Durable {
+		if r.Crashes == 0 {
+			bad = append(bad, "crash soak completed without a single kill/recover cycle")
+		}
+		if !r.RecoveredExact {
+			bad = append(bad, "a recovery did not reproduce the durable prefix exactly")
+		}
+		if !r.PITRVerified {
+			bad = append(bad, "point-in-time recovery view failed to rebuild")
+		}
+	}
 	if len(bad) == 0 {
 		return nil
 	}
@@ -139,6 +192,10 @@ func (r *Report) String() string {
 		r.RingElapsed.Round(time.Millisecond), r.ProfileMatches, r.PotentialGap, r.IsNash)
 	fmt.Fprintf(&b, "  chain:  settled in %v: %v, budget residual %d wei, verified: %v\n",
 		r.SettleElapsed.Round(time.Millisecond), r.Settled, r.BudgetResidual, r.ChainVerified)
+	if r.Durable {
+		fmt.Fprintf(&b, "  crash:  %d kill/recover cycles, %d checkpoints, recovery exact: %v, PITR view: %v\n",
+			r.Crashes, r.Checkpoints, r.RecoveredExact, r.PITRVerified)
+	}
 	c := r.Faults
 	fmt.Fprintf(&b, "  faults: %d dropped, %d duplicated, %d delayed, %d partition/crash rejects, %d rpc failures, %d rpc responses lost, %d rpc delayed (total %d)\n",
 		c.Dropped, c.Duplicated, c.Delayed, c.Partitioned+c.CrashRejects, c.RPCFailures, c.RPCLost, c.RPCDelayed, c.Total())
@@ -208,9 +265,14 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	}
 
 	// Phase 2: settle the equilibrium contributions on-chain through
-	// faulty RPC links.
+	// faulty RPC links — on a crash-recovering durable chain when the plan
+	// schedules kill cycles.
 	settleStart := time.Now()
-	if err := runSettlement(ctx, cfg, opts, inj, profile, rep); err != nil {
+	if opts.CrashCycles > 0 {
+		if err := runCrashSettlement(ctx, cfg, opts, inj, profile, rep); err != nil {
+			return nil, fmt.Errorf("chaos crash settlement: %w", err)
+		}
+	} else if err := runSettlement(ctx, cfg, opts, inj, profile, rep); err != nil {
 		return nil, fmt.Errorf("chaos settlement: %w", err)
 	}
 	rep.SettleElapsed = time.Since(settleStart)
@@ -287,28 +349,12 @@ func runRing(ctx context.Context, cfg *game.Config, opts Options, inj *faults.In
 // fixed cadence, and fills the settlement fields of rep.
 func runSettlement(ctx context.Context, cfg *game.Config, opts Options, inj *faults.Injector, profile game.Profile, rep *Report) error {
 	n := cfg.N()
-	src := randx.New(opts.GameSeed)
-	authority, err := chain.NewAccount(src)
+	gen, err := makeSettlementGenesis(cfg, opts)
 	if err != nil {
 		return err
 	}
-	accounts := make([]*chain.Account, n)
-	members := make([]chain.Address, n)
-	bits := make([]float64, n)
-	alloc := chain.GenesisAlloc{}
-	for i, o := range cfg.Orgs {
-		if accounts[i], err = chain.NewAccount(src); err != nil {
-			return err
-		}
-		members[i] = accounts[i].Address()
-		bits[i] = o.DataBits
-		alloc[members[i]] = 1_000_000_000
-	}
-	params := chain.ContractParams{
-		Members: members, Rho: cfg.Rho, DataBits: bits,
-		Gamma: cfg.Gamma, Lambda: cfg.Lambda,
-	}
-	bc, err := chain.NewBlockchain(authority, params, alloc)
+	accounts, members := gen.accounts, gen.members
+	bc, err := chain.NewBlockchain(gen.authority, gen.params, gen.alloc)
 	if err != nil {
 		return err
 	}
@@ -507,6 +553,15 @@ func isAlready(err error) bool {
 //	suspect=N     same-peer resends before a crash suspicion
 //	seal=DUR      authority seal cadence
 //	settle=DUR    settlement deadline
+//
+// Durable crash-soak keys (crashcycles > 0 switches the settlement phase
+// to a WAL-backed chain with kill/recover cycles):
+//
+//	crashcycles=N  validator kill -9/recover cycles mid-settlement
+//	crashmin=DUR   minimum uptime between recoveries (default 150ms)
+//	crashmax=DUR   maximum uptime between recoveries (default 500ms)
+//	snapevery=N    checkpoint after every Nth recovery (default 2, -1 off)
+//	waldir=PATH    chain WAL directory (default: fresh temp dir)
 func ParseSpec(spec string) (Options, error) {
 	var opts Options
 	if strings.TrimSpace(spec) == "" {
@@ -565,6 +620,32 @@ func ParseSpec(spec string) (Options, error) {
 				return opts, fmt.Errorf("chaos: settle = %q: %v", val, err)
 			}
 			opts.SettleTimeout = d
+		case "crashcycles":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return opts, fmt.Errorf("chaos: crashcycles = %q (need an integer ≥ 0)", val)
+			}
+			opts.CrashCycles = n
+		case "crashmin":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return opts, fmt.Errorf("chaos: crashmin = %q: %v", val, err)
+			}
+			opts.CrashMin = d
+		case "crashmax":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return opts, fmt.Errorf("chaos: crashmax = %q: %v", val, err)
+			}
+			opts.CrashMax = d
+		case "snapevery":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return opts, fmt.Errorf("chaos: snapevery = %q: %v", val, err)
+			}
+			opts.SnapshotEvery = n
+		case "waldir":
+			opts.WALDir = val
 		default:
 			return opts, fmt.Errorf("chaos: unknown key %q", key)
 		}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package durable
+
+import "os"
+
+// SyncData flushes f's data and metadata to stable storage. Platforms
+// without fdatasync(2) fall back to a full fsync.
+func SyncData(f *os.File) error { return f.Sync() }

@@ -1,0 +1,34 @@
+package faults
+
+import (
+	"time"
+
+	"tradefl/internal/randx"
+)
+
+// KillSchedule returns the deterministic kill plan of a crash-restart
+// soak: entry i is how long the victim runs after its (i-1)-th recovery
+// before it is killed again, drawn uniformly from [min, max]. Like every
+// other schedule in this package it is a pure function of the seed, so a
+// failing soak reproduces from its spec alone.
+//
+// The stream is domain-separated from the message/RPC injector streams:
+// adding crash cycles to a plan must not reshuffle which packets the same
+// seed drops.
+func KillSchedule(seed int64, cycles int, min, max time.Duration) []time.Duration {
+	if cycles <= 0 {
+		return nil
+	}
+	if min <= 0 {
+		min = 100 * time.Millisecond
+	}
+	if max < min {
+		max = min
+	}
+	src := randx.New(seed ^ 0x6b696c6c) // "kill"
+	out := make([]time.Duration, cycles)
+	for i := range out {
+		out[i] = min + time.Duration(src.Float64()*float64(max-min))
+	}
+	return out
+}

