@@ -81,7 +81,9 @@ func (b *Block) HeaderHash() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// state is the full ledger state: balances, nonces and the contract.
+// state is the flat ledger view: balances, nonces and the contract. The
+// live ledger is sharded (shard.go); this shape remains the serialization
+// unit (roots, snapshots) and the reference executor's working state.
 type state struct {
 	Balances map[Address]Wei    `json:"balances"`
 	Nonces   map[Address]uint64 `json:"nonces"`
@@ -115,31 +117,69 @@ func (s *state) root() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// rcptWindow is one sealed block's worth of dedup-index entries, queued for
+// FIFO eviction once the block falls out of the dedup horizon.
+type rcptWindow struct {
+	height uint64
+	hashes []string
+}
+
 // Blockchain is a single-authority (PoA) chain hosting one TradeFL
 // contract. It is safe for concurrent use.
+//
+// Locking (acquire strictly in this order, any prefix/suffix skipping ok):
+//
+//	sealSeq → poolMu → execMu → mu → ledgerShard.mu
+//
+// sealSeq serializes the seal path (SealBlock, ApplySealedBlock, Promote,
+// Checkpoint) without blocking admission or reads: a pipelined seal holds it
+// across admission-handoff → execute → WAL-enqueue → install, but releases
+// it before the fsync wait, so block H+1 executes while block H commits.
+// poolMu guards the mempool and dedup indexes; execMu guards block
+// execution and the contract (readers use ContractView); mu guards the
+// sealed chain and the fencing term; each ledger shard has its own lock.
 type Blockchain struct {
-	mu        sync.RWMutex
-	authority *Account
-	blocks    []*Block
-	st        *state
-	pool      []Transaction
+	sealSeq sync.Mutex
 
-	// Mempool/receipt indexes, maintained under mu: poolHash dedups
-	// pending txs, nextNonce tracks the pending nonce frontier per sender
-	// (empty entries fall back to the state nonce), sealedRcpt maps a tx
-	// hash to its sealed receipt. They keep SubmitTx and receipt lookups
-	// O(1) instead of scanning the pool and every sealed block.
-	poolHash   map[string]struct{}
-	nextNonce  map[Address]uint64
-	sealedRcpt map[string]*Receipt
+	// Mempool + dedup indexes, under poolMu: pool/poolHashes hold pending
+	// txs (and their ids) in admission order, poolHash dedups them O(1),
+	// sealing holds the ids of the block currently being sealed (still
+	// "known" for dedup, no longer pending for seal), nextNonce is the
+	// persistent pending-nonce frontier per sender (entries pruned back to
+	// the state nonce once a sender has nothing pending), sealedRcpt maps a
+	// sealed tx id to its receipt, rcptFIFO/evictedBelow bound that index
+	// (see pruneDedupLocked).
+	poolMu       sync.RWMutex
+	pool         []Transaction
+	poolHashes   []string
+	poolHash     map[string]struct{}
+	sealing      map[string]struct{}
+	nextNonce    map[Address]uint64
+	sealedRcpt   map[string]*Receipt
+	rcptFIFO     []rcptWindow
+	evictedBelow uint64
+
+	// execMu guards block execution and the contract: exclusive while a
+	// block executes and merges, shared for ContractView readers.
+	execMu sync.RWMutex
+
+	// mu guards the sealed chain and the fencing term.
+	mu     sync.RWMutex
+	blocks []*Block
+	term   uint64
+
+	authority *Account
+	led       *ledger
+	opts      Options
+
+	// genesisWei is the total wei minted at genesis — the conserved sum the
+	// ledger audit checks against at every sealed height.
+	genesisWei Wei
 
 	// params and alloc reproduce genesis; snapshots embed them so recovery
 	// is self-contained.
 	params ContractParams
 	alloc  GenesisAlloc
-
-	// term is the fencing term this validator seals with (see Promote).
-	term uint64
 
 	// wal, when attached, makes every accepted tx and sealed block durable
 	// before it is acknowledged. After a WAL write error the chain refuses
@@ -153,33 +193,42 @@ type Blockchain struct {
 type GenesisAlloc map[Address]Wei
 
 // NewBlockchain creates a chain with the deployed contract and the genesis
-// allocation, sealed by authority.
+// allocation, sealed by authority, using default Options.
 func NewBlockchain(authority *Account, params ContractParams, alloc GenesisAlloc) (*Blockchain, error) {
+	return NewBlockchainOpts(authority, params, alloc, Options{})
+}
+
+// NewBlockchainOpts is NewBlockchain with explicit sharding/pipelining
+// options. Every option is execution-strategy only: the sealed chain is
+// byte-identical for any setting.
+func NewBlockchainOpts(authority *Account, params ContractParams, alloc GenesisAlloc, opts Options) (*Blockchain, error) {
 	contract, err := NewContract(params)
 	if err != nil {
 		return nil, err
 	}
-	st := &state{
-		Balances: map[Address]Wei{},
-		Nonces:   map[Address]uint64{},
-		Contract: contract,
-	}
+	opts = opts.withDefaults()
+	led := newLedger(opts.Shards, contract)
+	var genesisWei Wei
 	for addr, amt := range alloc {
 		if amt < 0 {
 			return nil, fmt.Errorf("chain: negative genesis allocation for %s", addr)
 		}
-		st.Balances[addr] = amt
+		led.shard(addr).bal[addr] = amt
+		genesisWei += amt
 	}
 	bc := &Blockchain{
 		authority:  authority,
-		st:         st,
+		led:        led,
+		opts:       opts,
+		genesisWei: genesisWei,
 		poolHash:   map[string]struct{}{},
+		sealing:    map[string]struct{}{},
 		nextNonce:  map[Address]uint64{},
 		sealedRcpt: map[string]*Receipt{},
 		params:     params,
 		alloc:      alloc,
 	}
-	root, err := st.root()
+	root, err := led.root()
 	if err != nil {
 		return nil, err
 	}
@@ -209,6 +258,10 @@ func (bc *Blockchain) seal(b *Block) error {
 // fsynced (group commit): acceptance survives kill -9, and because the
 // mempool is rebuilt from the log on recovery, the dedup above survives
 // restarts too — a client retrying across a crash cannot double-apply.
+//
+// Admission runs concurrently with the seal pipeline (it only takes
+// poolMu), so submissions for block H+1 land while block H executes and
+// fsyncs; Options.SerialAdmission restores the pre-pipeline serialization.
 func (bc *Blockchain) SubmitTx(tx Transaction) error {
 	if err := tx.Verify(); err != nil {
 		return err
@@ -217,7 +270,7 @@ func (bc *Blockchain) SubmitTx(tx Transaction) error {
 	if err != nil {
 		return err
 	}
-	// Pre-encode the WAL record outside the chain lock; it is discarded if
+	// Pre-encode the WAL record outside the chain locks; it is discarded if
 	// validation rejects the tx. bc.wal is fixed before concurrent use.
 	var frames []byte
 	if bc.wal != nil {
@@ -225,9 +278,15 @@ func (bc *Blockchain) SubmitTx(tx Transaction) error {
 			return err
 		}
 	}
-	bc.mu.Lock()
+	if bc.opts.SerialAdmission {
+		bc.sealSeq.Lock()
+	}
+	bc.poolMu.Lock()
 	ticket, err := bc.admitTxLocked(tx, hash, frames)
-	bc.mu.Unlock()
+	bc.poolMu.Unlock()
+	if bc.opts.SerialAdmission {
+		bc.sealSeq.Unlock()
+	}
 	if err != nil {
 		return err
 	}
@@ -240,7 +299,7 @@ func (bc *Blockchain) SubmitTx(tx Transaction) error {
 
 // admitTxLocked validates tx against the mempool indexes, appends it to
 // the pool and enqueues its WAL record (chain order == log order because
-// every enqueue happens under bc.mu). A nil ticket with nil error means no
+// every enqueue happens under poolMu). A nil ticket with nil error means no
 // WAL is attached.
 func (bc *Blockchain) admitTxLocked(tx Transaction, hash string, frames []byte) (*walTicket, error) {
 	// A dead WAL fails everything up front — including dedup hits, which
@@ -254,6 +313,10 @@ func (bc *Blockchain) admitTxLocked(tx Transaction, hash string, frames []byte) 
 		mTxDeduped.Inc()
 		return nil, fmt.Errorf("%w: %s pending", ErrTxAlreadyKnown, hash)
 	}
+	if _, dup := bc.sealing[hash]; dup {
+		mTxDeduped.Inc()
+		return nil, fmt.Errorf("%w: %s pending", ErrTxAlreadyKnown, hash)
+	}
 	if rcpt := bc.sealedRcpt[hash]; rcpt != nil {
 		mTxDeduped.Inc()
 		return nil, fmt.Errorf("%w: %s sealed at height %d", ErrTxAlreadyKnown, hash, rcpt.Height)
@@ -261,12 +324,22 @@ func (bc *Blockchain) admitTxLocked(tx Transaction, hash string, frames []byte) 
 	// Nonce must follow the pending sequence (state nonce + queued txs).
 	expected, queued := bc.nextNonce[tx.From]
 	if !queued {
-		expected = bc.st.Nonces[tx.From]
+		expected = bc.led.nonce(tx.From)
 	}
 	if tx.Nonce != expected {
+		if tx.Nonce < expected {
+			// A stale nonce on an unknown hash can still be a resubmission
+			// of a tx whose dedup entry fell off the FIFO horizon; the
+			// receipt scan over the evicted blocks keeps idempotency exact.
+			if rcpt := bc.sealedInEvictedLocked(hash); rcpt != nil {
+				mTxDeduped.Inc()
+				return nil, fmt.Errorf("%w: %s sealed at height %d", ErrTxAlreadyKnown, hash, rcpt.Height)
+			}
+		}
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, expected)
 	}
 	bc.pool = append(bc.pool, tx)
+	bc.poolHashes = append(bc.poolHashes, hash)
 	bc.poolHash[hash] = struct{}{}
 	bc.nextNonce[tx.From] = expected + 1
 	if bc.wal == nil {
@@ -275,21 +348,48 @@ func (bc *Blockchain) admitTxLocked(tx Transaction, hash string, frames []byte) 
 	return bc.wal.enqueue(frames, walRec{Kind: recTx, Tx: &tx}), nil
 }
 
-// PendingCount returns the mempool size.
-func (bc *Blockchain) PendingCount() int {
+// sealedInEvictedLocked scans the blocks whose dedup entries were evicted
+// for a receipt of hash. Caller holds poolMu (any mode); this is the slow
+// path behind a nonce-too-low rejection, proportional to the evicted
+// prefix only.
+func (bc *Blockchain) sealedInEvictedLocked(hash string) *Receipt {
+	if bc.evictedBelow == 0 {
+		return nil
+	}
 	bc.mu.RLock()
 	defer bc.mu.RUnlock()
-	return len(bc.pool)
+	for _, b := range bc.blocks {
+		if b.Height >= bc.evictedBelow {
+			break
+		}
+		for i := range b.Receipts {
+			if b.Receipts[i].TxHash == hash {
+				rcpt := b.Receipts[i]
+				return &rcpt
+			}
+		}
+	}
+	return nil
+}
+
+// PendingCount returns the number of accepted-but-unsealed transactions:
+// the mempool plus the block currently in the seal pipeline.
+func (bc *Blockchain) PendingCount() int {
+	bc.poolMu.RLock()
+	defer bc.poolMu.RUnlock()
+	return len(bc.pool) + len(bc.sealing)
 }
 
 // SealBlock applies every pending transaction (in submission order) and
 // appends a sealed block. Failed transactions are included with an error
 // receipt; their state effects are rolled back individually. With a WAL
-// attached the call returns only after the block record is fsynced.
+// attached the call returns only after the block record is fsynced — but
+// the fsync wait happens outside sealSeq, so the next block's admission and
+// execution overlap this block's group commit.
 func (bc *Blockchain) SealBlock() (*Block, error) {
-	bc.mu.Lock()
-	b, ticket, err := bc.sealBlockLocked()
-	bc.mu.Unlock()
+	bc.sealSeq.Lock()
+	b, ticket, err := bc.sealLocked(-1)
+	bc.sealSeq.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -299,10 +399,18 @@ func (bc *Blockchain) SealBlock() (*Block, error) {
 	return b, nil
 }
 
-// sealBlockLocked builds, applies and appends the next block under bc.mu,
-// enqueueing its WAL record in chain order. The caller waits on the
-// returned ticket outside the lock.
-func (bc *Blockchain) sealBlockLocked() (*Block, *walTicket, error) {
+// sealLocked runs the three seal stages on the first `take` pool txs
+// (take < 0 = the whole pool). Caller holds sealSeq; the returned WAL
+// ticket is waited outside all locks.
+//
+//	stage 1  admission handoff   (poolMu)   txs move pool → sealing
+//	stage 2  execute + state root (execMu)  sharded parallel execution
+//	stage 3  WAL enqueue + install (poolMu→mu)
+//
+// Durability contract: the block record is enqueued before install, in
+// sealSeq order, so the log order matches the chain order; nothing is
+// acknowledged to the SealBlock caller before the record is fsynced.
+func (bc *Blockchain) sealLocked(take int) (*Block, *walTicket, error) {
 	if bc.wal != nil {
 		if err := bc.wal.Err(); err != nil {
 			return nil, nil, fmt.Errorf("chain: wal unavailable: %w", err)
@@ -310,26 +418,68 @@ func (bc *Blockchain) sealBlockLocked() (*Block, *walTicket, error) {
 	}
 	sealStart := time.Now()
 	defer mSealSec.ObserveSince(sealStart)
-	height := uint64(len(bc.blocks))
-	receipts := make([]Receipt, 0, len(bc.pool))
-	for _, tx := range bc.pool {
-		rcpt := bc.applyTx(tx, height)
-		if rcpt.OK {
+
+	// Stage 1: move the batch out of the mempool. Admission of the next
+	// block's txs proceeds as soon as poolMu drops.
+	bc.poolMu.Lock()
+	n := len(bc.pool)
+	if take >= 0 && take < n {
+		n = take
+	}
+	var txs []Transaction
+	var hashes []string
+	if n > 0 {
+		txs = bc.pool[:n:n]
+		hashes = bc.poolHashes[:n:n]
+		bc.pool = bc.pool[n:]
+		bc.poolHashes = bc.poolHashes[n:]
+		for _, h := range hashes {
+			delete(bc.poolHash, h)
+			bc.sealing[h] = struct{}{}
+		}
+	}
+	bc.poolMu.Unlock()
+
+	// Stage 2: execute against the sharded ledger and derive the root.
+	bc.execMu.Lock()
+	armed := ledgerAuditArmed()
+	var preNon []int64
+	if armed {
+		preNon = bc.led.shardNonces()
+	}
+	height := bc.nextHeight()
+	receipts := bc.executeBlock(txs, hashes, height)
+	root, err := bc.led.root()
+	var ev *LedgerAuditEvent
+	if err == nil && armed {
+		postNon := bc.led.shardNonces()
+		delta := make([]int64, len(postNon))
+		for i := range postNon {
+			delta[i] = postNon[i] - preNon[i]
+		}
+		ev = &LedgerAuditEvent{
+			Height:          height,
+			GenesisWei:      bc.genesisWei,
+			ShardWei:        bc.led.shardWei(),
+			EscrowWei:       bc.led.escrowWei(),
+			ShardNonceDelta: delta,
+			TxCount:         len(txs),
+		}
+	}
+	bc.execMu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range receipts {
+		if receipts[i].OK {
 			mTxMined.Inc()
 		} else {
 			mTxFailed.Inc()
 		}
-		receipts = append(receipts, rcpt)
 	}
-	root, err := bc.st.root()
-	if err != nil {
-		return nil, nil, err
-	}
-	prev, err := bc.blocks[len(bc.blocks)-1].HeaderHash()
-	if err != nil {
-		return nil, nil, err
-	}
-	hashes, err := txHashes(bc.pool)
+
+	// Stage 3: build, seal, log and install.
+	prev, err := bc.lastHeaderHash()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -338,10 +488,10 @@ func (bc *Blockchain) sealBlockLocked() (*Block, *walTicket, error) {
 		PrevHash:  prev,
 		StateRoot: root,
 		TxRoot:    MerkleRoot(hashes),
-		Txs:       bc.pool,
+		Txs:       txs,
 		Receipts:  receipts,
 		Sealer:    bc.authority.PublicKey(),
-		Term:      bc.term,
+		Term:      bc.Term(),
 	}
 	if err := bc.seal(b); err != nil {
 		return nil, nil, err
@@ -354,79 +504,94 @@ func (bc *Blockchain) sealBlockLocked() (*Block, *walTicket, error) {
 		}
 		ticket = bc.wal.enqueue(frames, walRec{Kind: recBlock, Block: b})
 	}
-	bc.appendBlockLocked(b)
+	bc.installBlock(b, hashes)
+	if ev != nil {
+		fireLedgerAudit(ev)
+	}
 	return b, ticket, nil
 }
 
-// appendBlockLocked installs a sealed block: chain append, receipt index,
-// mempool reset (every pool tx consumed its nonce, so the state nonces are
-// now the frontier again).
-func (bc *Blockchain) appendBlockLocked(b *Block) {
+// installBlock appends a sealed block and retires its txs from the dedup
+// pipeline: receipts become the sealed index, the sealing set empties, the
+// FIFO horizon prunes, and the nonce frontier drops senders with nothing
+// pending (their frontier equals the state nonce again).
+func (bc *Blockchain) installBlock(b *Block, hashes []string) {
+	bc.poolMu.Lock()
+	bc.mu.Lock()
 	bc.blocks = append(bc.blocks, b)
+	bc.mu.Unlock()
 	for i := range b.Receipts {
 		bc.sealedRcpt[b.Receipts[i].TxHash] = &b.Receipts[i]
 	}
-	bc.pool = nil
-	bc.poolHash = map[string]struct{}{}
-	bc.nextNonce = map[Address]uint64{}
+	for _, h := range hashes {
+		delete(bc.sealing, h)
+	}
+	bc.pruneDedupLocked(b.Height, hashes)
+	bc.pruneNonceLocked(b.Txs)
+	bc.poolMu.Unlock()
 	mBlocks.Inc()
 	mHeight.Set(float64(b.Height))
 }
 
-// applyTx executes one transaction against the live state, rolling back on
-// contract failure. The nonce always advances for a pool-accepted tx.
-func (bc *Blockchain) applyTx(tx Transaction, height uint64) Receipt {
-	hash, err := tx.Hash()
-	if err != nil {
-		return Receipt{Height: height, OK: false, Error: err.Error()}
+// pruneDedupLocked bounds the sealed-tx dedup index: each sealed block
+// queues one FIFO window, and once more than Options.DedupHorizon blocks
+// are queued the oldest window's hashes leave the O(1) index. Their blocks
+// remain scannable (sealedInEvictedLocked), so an evicted-but-sealed tx is
+// still rejected — just not in O(1).
+func (bc *Blockchain) pruneDedupLocked(height uint64, hashes []string) {
+	if len(hashes) > 0 {
+		bc.rcptFIFO = append(bc.rcptFIFO, rcptWindow{height: height, hashes: hashes})
 	}
-	rcpt := Receipt{TxHash: hash, Height: height}
-	snapshot, err := bc.st.clone()
-	if err != nil {
-		rcpt.Error = err.Error()
-		return rcpt
+	if bc.opts.DedupHorizon < 0 {
+		return
 	}
-	if err := bc.execute(tx, height); err != nil {
-		bc.st = snapshot
-		bc.st.Nonces[tx.From]++ // failed txs still consume the nonce
-		rcpt.Error = err.Error()
-		return rcpt
+	for len(bc.rcptFIFO) > bc.opts.DedupHorizon {
+		w := bc.rcptFIFO[0]
+		bc.rcptFIFO[0] = rcptWindow{}
+		bc.rcptFIFO = bc.rcptFIFO[1:]
+		for _, h := range w.hashes {
+			delete(bc.sealedRcpt, h)
+		}
+		if w.height+1 > bc.evictedBelow {
+			bc.evictedBelow = w.height + 1
+		}
+		mDedupEvicted.Add(int64(len(w.hashes)))
 	}
-	rcpt.OK = true
-	return rcpt
 }
 
-func (bc *Blockchain) execute(tx Transaction, height uint64) error {
-	if bc.st.Nonces[tx.From] != tx.Nonce {
-		return fmt.Errorf("%w: got %d, want %d", ErrBadNonce, tx.Nonce, bc.st.Nonces[tx.From])
+// pruneNonceLocked drops nonce-frontier entries for senders whose frontier
+// caught up with their state nonce — without it the persistent frontier
+// would grow by one entry per sender forever.
+func (bc *Blockchain) pruneNonceLocked(txs []Transaction) {
+	for i := range txs {
+		from := txs[i].From
+		if want, ok := bc.nextNonce[from]; ok && want == bc.led.nonce(from) {
+			delete(bc.nextNonce, from)
+		}
 	}
-	if bc.st.Balances[tx.From] < tx.Value {
-		return fmt.Errorf("%w: %s has %d, needs %d", ErrInsufficientBalance, tx.From, bc.st.Balances[tx.From], tx.Value)
-	}
-	bc.st.Nonces[tx.From]++
-	bc.st.Balances[tx.From] -= tx.Value
-	refund, err := bc.st.Contract.Apply(tx.From, tx.Fn, tx.Args, tx.Value, height)
-	if err != nil {
-		return err
-	}
-	if refund != 0 {
-		bc.st.Balances[tx.From] += refund
-	}
-	return nil
 }
 
-// Balance returns the on-ledger balance of addr.
+func (bc *Blockchain) nextHeight() uint64 {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return uint64(len(bc.blocks))
+}
+
+func (bc *Blockchain) lastHeaderHash() (string, error) {
+	bc.mu.RLock()
+	defer bc.mu.RUnlock()
+	return bc.blocks[len(bc.blocks)-1].HeaderHash()
+}
+
+// Balance returns the on-ledger balance of addr. Shard-local: it never
+// contends with the seal hot path or with reads of other shards.
 func (bc *Blockchain) Balance(addr Address) Wei {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	return bc.st.Balances[addr]
+	return bc.led.balance(addr)
 }
 
-// Nonce returns the next expected state nonce for addr.
+// Nonce returns the next expected state nonce for addr (shard-local).
 func (bc *Blockchain) Nonce(addr Address) uint64 {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	return bc.st.Nonces[addr]
+	return bc.led.nonce(addr)
 }
 
 // Height returns the latest block height.
@@ -449,16 +614,20 @@ func (bc *Blockchain) BlockAt(height uint64) (*Block, error) {
 // ReceiptByHash scans the chain for the receipt of the given transaction;
 // it returns an error while the transaction is still unsealed.
 func (bc *Blockchain) ReceiptByHash(txHash string) (*Receipt, error) {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	if rcpt := bc.receiptLocked(txHash); rcpt != nil {
+	bc.poolMu.RLock()
+	rcpt := bc.receiptLocked(txHash)
+	if rcpt == nil {
+		rcpt = bc.sealedInEvictedLocked(txHash)
+	}
+	bc.poolMu.RUnlock()
+	if rcpt != nil {
 		return rcpt, nil
 	}
 	return nil, fmt.Errorf("chain: no sealed receipt for tx %s", txHash)
 }
 
 // receiptLocked looks up the sealed receipt of txHash in the receipt
-// index; callers hold at least a read lock.
+// index; callers hold poolMu in at least read mode.
 func (bc *Blockchain) receiptLocked(txHash string) *Receipt {
 	if r := bc.sealedRcpt[txHash]; r != nil {
 		rcpt := *r
@@ -467,11 +636,12 @@ func (bc *Blockchain) receiptLocked(txHash string) *Receipt {
 	return nil
 }
 
-// ContractView runs fn with read access to the contract state.
+// ContractView runs fn with read access to the contract state. It blocks
+// only while a block is mid-execution, never for the WAL commit.
 func (bc *Blockchain) ContractView(fn func(*Contract) error) error {
-	bc.mu.RLock()
-	defer bc.mu.RUnlock()
-	return fn(bc.st.Contract)
+	bc.execMu.RLock()
+	defer bc.execMu.RUnlock()
+	return fn(bc.led.contract)
 }
 
 // VerifyChain re-validates every link, seal, and transaction signature.
@@ -536,6 +706,7 @@ func (bc *Blockchain) Term() uint64 {
 // taking over sealing: every block it seals afterwards carries the higher
 // term, and ApplySealedBlock rejects blocks from the deposed primary.
 func (bc *Blockchain) Promote() (uint64, error) {
+	bc.sealSeq.Lock()
 	bc.mu.Lock()
 	bc.term++
 	term := bc.term
@@ -545,11 +716,13 @@ func (bc *Blockchain) Promote() (uint64, error) {
 		if err != nil {
 			bc.term--
 			bc.mu.Unlock()
+			bc.sealSeq.Unlock()
 			return 0, err
 		}
 		ticket = bc.wal.enqueue(frames, walRec{Kind: recTerm, Term: term})
 	}
 	bc.mu.Unlock()
+	bc.sealSeq.Unlock()
 	if err := ticket.wait(); err != nil {
 		return 0, fmt.Errorf("chain: term bump not durable: %w", err)
 	}
@@ -565,31 +738,38 @@ func (bc *Blockchain) Promote() (uint64, error) {
 // ErrStaleTerm before any state is touched, so a revived primary cannot
 // fork a chain its successor already extended.
 func (bc *Blockchain) ApplySealedBlock(stored *Block) error {
-	bc.mu.Lock()
-	defer bc.mu.Unlock()
-	if stored.Term < bc.term {
-		mStaleSeals.Inc()
-		return fmt.Errorf("%w: block term %d below local term %d", ErrStaleTerm, stored.Term, bc.term)
-	}
-	return bc.applyStoredBlockLocked(stored)
+	return bc.applyStored(stored, true)
 }
 
-// applyStoredBlockLocked replays stored on top of the current state: the
-// local pending pool must contain exactly the block's transactions (in
-// order), and the re-sealed block must hash identically to stored. On
-// success the block is appended and the pool reset.
-func (bc *Blockchain) applyStoredBlockLocked(stored *Block) error {
-	if want := uint64(len(bc.blocks)); stored.Height != want {
+// applyStored replays stored on top of the current state: the local pool
+// must contain the block's transactions as a prefix (in order; with the
+// seal pipeline, txs admitted during the source block's execution may
+// legitimately trail it in the log), and the re-sealed block must hash
+// identically to stored. On success the block is appended and the prefix
+// consumed; the remainder stays pooled.
+func (bc *Blockchain) applyStored(stored *Block, fence bool) error {
+	bc.sealSeq.Lock()
+	defer bc.sealSeq.Unlock()
+	if fence {
+		if term := bc.Term(); stored.Term < term {
+			mStaleSeals.Inc()
+			return fmt.Errorf("%w: block term %d below local term %d", ErrStaleTerm, stored.Term, term)
+		}
+	}
+	if want := bc.nextHeight(); stored.Height != want {
 		return fmt.Errorf("chain: sealed block height %d, want %d", stored.Height, want)
 	}
-	if len(stored.Txs) != len(bc.pool) {
-		return fmt.Errorf("chain: sealed block carries %d txs, local pool has %d", len(stored.Txs), len(bc.pool))
+	bc.poolMu.RLock()
+	poolLen := len(bc.pool)
+	bc.poolMu.RUnlock()
+	if len(stored.Txs) > poolLen {
+		return fmt.Errorf("chain: sealed block carries %d txs, local pool has %d", len(stored.Txs), poolLen)
 	}
-	savedTerm := bc.term
-	bc.term = stored.Term
-	replayed, ticket, err := bc.sealBlockLocked()
+	savedTerm := bc.Term()
+	bc.setTermExact(stored.Term)
+	replayed, ticket, err := bc.sealLocked(len(stored.Txs))
 	if err != nil {
-		bc.term = savedTerm
+		bc.setTermExact(savedTerm)
 		return err
 	}
 	// The local WAL (if any) logs the replayed block; both hash identically
@@ -612,6 +792,13 @@ func (bc *Blockchain) setTerm(term uint64) {
 	term = bc.term
 	bc.mu.Unlock()
 	mTerm.Set(float64(term))
+}
+
+// setTermExact installs a term verbatim (replay only; no raise-only guard).
+func (bc *Blockchain) setTermExact(term uint64) {
+	bc.mu.Lock()
+	bc.term = term
+	bc.mu.Unlock()
 }
 
 // WAL returns the attached write-ahead log, or nil for an in-memory chain.

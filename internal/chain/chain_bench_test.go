@@ -1,0 +1,146 @@
+package chain
+
+import (
+	"testing"
+
+	"tradefl/internal/randx"
+)
+
+// settlePlan is a pre-signed one-block settlement lifecycle for N members:
+// deposit + contribution per member, one payoffCalculate, then a
+// payoffTransfer and profileRecord per member — 4N+1 transactions. The
+// plan is chain-independent (it depends only on the genesis), so one plan
+// serves every benchmark iteration and every executor variant.
+type settlePlan struct {
+	authority *Account
+	params    ContractParams
+	alloc     GenesisAlloc
+	txs       []Transaction
+}
+
+func buildSettlePlan(b testing.TB, n int) *settlePlan {
+	b.Helper()
+	src := randx.New(7)
+	authority, err := NewAccount(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	accounts := make([]*Account, n)
+	members := make([]Address, n)
+	bits := make([]float64, n)
+	rho := make([][]float64, n)
+	alloc := GenesisAlloc{}
+	for i := range accounts {
+		if accounts[i], err = NewAccount(src); err != nil {
+			b.Fatal(err)
+		}
+		members[i] = accounts[i].Address()
+		bits[i] = 2e10
+		alloc[members[i]] = 1 << 50
+		rho[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			rho[i][j], rho[j][i] = 0.05, 0.05
+		}
+	}
+	params := ContractParams{Members: members, Rho: rho, DataBits: bits, Gamma: 2e-8, Lambda: 0.1}
+	p := &settlePlan{authority: authority, params: params, alloc: alloc}
+	nonces := make([]uint64, n)
+	add := func(i int, fn Function, args any, value Wei) {
+		tx, err := NewTransaction(accounts[i], nonces[i], fn, args, value)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nonces[i]++
+		p.txs = append(p.txs, *tx)
+	}
+	for i := range accounts {
+		add(i, FnDepositSubmit, nil, MinDeposit(params, i, 5e9))
+	}
+	for i := range accounts {
+		add(i, FnContributionSubmit, Contribution{D: float64(i+1) / float64(n), F: 3e9}, 0)
+	}
+	add(0, FnPayoffCalculate, nil, 0)
+	for i := range accounts {
+		add(i, FnPayoffTransfer, nil, 0)
+	}
+	for i := range accounts {
+		add(i, FnProfileRecord, nil, 0)
+	}
+	return p
+}
+
+// BenchmarkChainSettle is the sharded-settlement headline: one op settles a
+// 32-member game in a single sealed block on a WAL-backed chain (129 txs).
+// The serial variant is the pre-sharding configuration — the reference
+// executor (full-state clone per tx), K=1, per-tx submission, no pipeline —
+// and scripts/benchcmp's chain-gate holds shards=8 to >= 3x its throughput.
+// Every variant must produce the identical state root.
+func BenchmarkChainSettle(b *testing.B) {
+	const members = 32
+	plan := buildSettlePlan(b, members)
+	var root string
+	for _, tc := range []struct {
+		name  string
+		opts  Options
+		batch bool
+	}{
+		{"serial", Options{Shards: 1, SerialAdmission: true, refExec: true}, false},
+		{"shards=1", Options{Shards: 1}, true},
+		{"shards=8", Options{Shards: 8}, true},
+		{"shards=8-nopipe", Options{Shards: 8, SerialAdmission: true}, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				bc, err := OpenDurableOpts(b.TempDir(), plan.authority, plan.params, plan.alloc, tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if tc.batch {
+					results, err := bc.SubmitTxBatch(plan.txs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						for j, r := range results {
+							if !r.OK {
+								b.Fatalf("tx %d rejected: %+v", j, r)
+							}
+						}
+					}
+				} else {
+					for j := range plan.txs {
+						if err := bc.SubmitTx(plan.txs[j]); err != nil {
+							b.Fatalf("tx %d: %v", j, err)
+						}
+					}
+				}
+				blk, err := bc.SealBlock()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if i == 0 {
+					for _, r := range blk.Receipts {
+						if !r.OK {
+							b.Fatalf("receipt failed: %+v", r)
+						}
+					}
+					// Equivalence guard: every variant seals the same root.
+					if root == "" {
+						root = blk.StateRoot
+					} else if blk.StateRoot != root {
+						b.Fatalf("%s state root %s diverges from serial %s", tc.name, blk.StateRoot, root)
+					}
+				}
+				if err := bc.CloseDurable(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(plan.txs)*b.N)/b.Elapsed().Seconds(), "tx/s")
+		})
+	}
+}

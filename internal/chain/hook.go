@@ -19,6 +19,44 @@ var settlementAudit atomic.Value
 // it must not call back into the contract.
 func SetSettlementAudit(fn SettlementAudit) { settlementAudit.Store(fn) }
 
+// LedgerAuditEvent is the per-sealed-height conservation snapshot handed to
+// the ledger audit hook: the wei held by every shard, the wei escrowed in
+// the contract (deposits + calculated payoffs), the genesis total they must
+// sum to, and the per-shard nonce movement of the block (each must be
+// nonnegative, and together they must equal the block's tx count — every
+// pool-admitted tx, success or failure, consumes exactly one nonce).
+type LedgerAuditEvent struct {
+	Height          uint64
+	GenesisWei      Wei
+	ShardWei        []Wei
+	EscrowWei       Wei
+	ShardNonceDelta []int64
+	TxCount         int
+}
+
+// LedgerAudit observes the sharded ledger after every sealed block.
+type LedgerAudit func(ev *LedgerAuditEvent)
+
+var ledgerAudit atomic.Value
+
+// SetLedgerAudit installs fn as the post-seal ledger observer; nil removes
+// it. The hook runs synchronously on the seal path (outside the execution
+// lock), so it must not call back into the chain.
+func SetLedgerAudit(fn LedgerAudit) { ledgerAudit.Store(fn) }
+
+// ledgerAuditArmed reports whether a hook is installed, so the seal path
+// only pays for the shard sums when someone is watching.
+func ledgerAuditArmed() bool {
+	fn, _ := ledgerAudit.Load().(LedgerAudit)
+	return fn != nil
+}
+
+func fireLedgerAudit(ev *LedgerAuditEvent) {
+	if fn, _ := ledgerAudit.Load().(LedgerAudit); fn != nil {
+		fn(ev)
+	}
+}
+
 // auditSettlement snapshots the calculated contract and invokes the
 // installed hook, if any.
 func (c *Contract) auditSettlement() {

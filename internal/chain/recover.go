@@ -77,6 +77,14 @@ func listSnapshots(dir string) ([]uint64, error) {
 // alloc then come from the recovered snapshot, and the arguments are only
 // used to detect an accidental genesis mismatch.
 func OpenDurable(dir string, authority *Account, params ContractParams, alloc GenesisAlloc) (*Blockchain, error) {
+	return OpenDurableOpts(dir, authority, params, alloc, Options{})
+}
+
+// OpenDurableOpts is OpenDurable with explicit sharding/pipelining options.
+// Options are an execution strategy of the running process, not part of the
+// durable state: any option set can open (and exactly reproduce) a
+// directory written under any other.
+func OpenDurableOpts(dir string, authority *Account, params ContractParams, alloc GenesisAlloc, opts Options) (*Blockchain, error) {
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("chain: wal dir: %w", err)
 	}
@@ -89,15 +97,15 @@ func OpenDurable(dir string, authority *Account, params ContractParams, alloc Ge
 		return nil, err
 	}
 	if len(snaps) == 0 && len(segs) == 0 {
-		return initDurable(dir, authority, params, alloc)
+		return initDurable(dir, authority, params, alloc, opts)
 	}
-	return Recover(dir, authority)
+	return RecoverOpts(dir, authority, opts)
 }
 
 // initDurable bootstraps a fresh durable chain: genesis, segment 1, and a
 // base snapshot so recovery always has a self-contained starting point.
-func initDurable(dir string, authority *Account, params ContractParams, alloc GenesisAlloc) (*Blockchain, error) {
-	bc, err := NewBlockchain(authority, params, alloc)
+func initDurable(dir string, authority *Account, params ContractParams, alloc GenesisAlloc, opts Options) (*Blockchain, error) {
+	bc, err := NewBlockchainOpts(authority, params, alloc, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +133,14 @@ func initDurable(dir string, authority *Account, params ContractParams, alloc Ge
 // record that survived the crash. The recovered chain has the WAL
 // reattached and is ready to serve.
 func Recover(dir string, authority *Account) (*Blockchain, error) {
-	return recoverDir(dir, authority, 0, true)
+	return recoverDir(dir, authority, 0, true, Options{})
+}
+
+// RecoverOpts is Recover with explicit sharding/pipelining options for the
+// recovered chain. The durable history replays identically under any
+// option set (the headers are compared byte for byte either way).
+func RecoverOpts(dir string, authority *Account, opts Options) (*Blockchain, error) {
+	return recoverDir(dir, authority, 0, true, opts)
 }
 
 // RecoverAt is point-in-time recovery: it rebuilds the chain exactly as
@@ -133,13 +148,18 @@ func Recover(dir string, authority *Account) (*Blockchain, error) {
 // detached from the WAL — a read-only forensic view; sealing on it would
 // fork the durable history.
 func RecoverAt(dir string, authority *Account, height uint64) (*Blockchain, error) {
-	return recoverDir(dir, authority, height, false)
+	return recoverDir(dir, authority, height, false, Options{})
+}
+
+// RecoverAtOpts is RecoverAt with explicit sharding/pipelining options.
+func RecoverAtOpts(dir string, authority *Account, height uint64, opts Options) (*Blockchain, error) {
+	return recoverDir(dir, authority, height, false, opts)
 }
 
 // recoverDir is the shared recovery core. attach=true recovers to the
 // latest state and reopens the WAL for append; attach=false stops at
 // stopHeight and leaves the directory untouched.
-func recoverDir(dir string, authority *Account, stopHeight uint64, attach bool) (*Blockchain, error) {
+func recoverDir(dir string, authority *Account, stopHeight uint64, attach bool, opts Options) (*Blockchain, error) {
 	start := time.Now()
 	defer mRecoverSec.ObserveSince(start)
 	snaps, err := listSnapshots(dir)
@@ -155,7 +175,7 @@ func recoverDir(dir string, authority *Account, stopHeight uint64, attach bool) 
 	// suffix is always intact.
 	var lastErr error
 	for i := len(snaps) - 1; i >= 0; i-- {
-		bc, err := recoverFromSnapshot(dir, authority, snaps[i], stopHeight, attach)
+		bc, err := recoverFromSnapshot(dir, authority, snaps[i], stopHeight, attach, opts)
 		if err == nil && !attach && bc.Height() < stopHeight {
 			err = fmt.Errorf("chain: no sealed block at height %d (durable history ends at %d)", stopHeight, bc.Height())
 		}
@@ -173,7 +193,7 @@ func recoverDir(dir string, authority *Account, stopHeight uint64, attach bool) 
 }
 
 // recoverFromSnapshot replays one snapshot and its WAL suffix.
-func recoverFromSnapshot(dir string, authority *Account, snapSeq, stopHeight uint64, attach bool) (*Blockchain, error) {
+func recoverFromSnapshot(dir string, authority *Account, snapSeq, stopHeight uint64, attach bool, opts Options) (*Blockchain, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, snapshotName(snapSeq)))
 	if err != nil {
 		return nil, err
@@ -185,7 +205,7 @@ func recoverFromSnapshot(dir string, authority *Account, snapSeq, stopHeight uin
 	if len(doc.Blocks) == 0 {
 		return nil, fmt.Errorf("%w: snapshot has no blocks", ErrReplayMismatch)
 	}
-	bc, err := NewBlockchain(authority, doc.Params, doc.Alloc)
+	bc, err := NewBlockchainOpts(authority, doc.Params, doc.Alloc, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -221,10 +241,9 @@ func replayStoredBlock(bc *Blockchain, stored *Block) error {
 			return fmt.Errorf("%w: block %d: %v", ErrReplayMismatch, stored.Height, err)
 		}
 	}
-	bc.mu.Lock()
-	err := bc.applyStoredBlockLocked(stored)
-	bc.mu.Unlock()
-	if err != nil {
+	// Unfenced: term records in the log being replayed may postdate this
+	// block, so the stored term is installed verbatim rather than checked.
+	if err := bc.applyStored(stored, false); err != nil {
 		return fmt.Errorf("block %d: %w", stored.Height, err)
 	}
 	return nil
@@ -286,12 +305,11 @@ func replayWALSuffix(dir string, bc *Blockchain, snapSeq, stopHeight uint64, att
 				done = true
 				return nil
 			}
-			// The pool already holds this block's transactions: their tx
-			// records precede the block record in log order.
-			bc.mu.Lock()
-			err := bc.applyStoredBlockLocked(rec.Block)
-			bc.mu.Unlock()
-			if err != nil {
+			// The pool holds this block's transactions as a prefix: their tx
+			// records precede the block record in log order, and with the
+			// seal pipeline, txs admitted for the NEXT block while this one
+			// sealed legitimately follow as the pool remainder.
+			if err := bc.applyStored(rec.Block, false); err != nil {
 				return fmt.Errorf("%w: block %d: %v", ErrWALCorrupt, rec.Block.Height, err)
 			}
 		case recTerm:
@@ -369,13 +387,24 @@ func (bc *Blockchain) Checkpoint() error {
 	defer bc.ckptMu.Unlock()
 	start := time.Now()
 	defer mSnapshotSec.ObserveSince(start)
-	bc.mu.Lock()
+	// sealSeq quiesces the seal pipeline (no block between handoff and
+	// install, so the sealing set is empty and the pool is the full pending
+	// set); poolMu blocks admission so no tx record can slip past the
+	// rotation into the new segment while its tx sits in the snapshot pool.
+	bc.sealSeq.Lock()
+	bc.poolMu.Lock()
+	bc.mu.RLock()
+	unlock := func() {
+		bc.mu.RUnlock()
+		bc.poolMu.Unlock()
+		bc.sealSeq.Unlock()
+	}
 	if bc.wal == nil {
-		bc.mu.Unlock()
+		unlock()
 		return errors.New("chain: checkpoint without a wal")
 	}
 	if err := bc.wal.Err(); err != nil {
-		bc.mu.Unlock()
+		unlock()
 		return fmt.Errorf("chain: wal unavailable: %w", err)
 	}
 	ticket, newSeq := bc.wal.rotateAsync()
@@ -388,7 +417,7 @@ func (bc *Blockchain) Checkpoint() error {
 		WALSeq: newSeq,
 	}
 	raw, err := json.Marshal(doc)
-	bc.mu.Unlock()
+	unlock()
 	if err != nil {
 		return fmt.Errorf("chain: marshal snapshot: %w", err)
 	}

@@ -27,20 +27,23 @@ var rpcLog = obs.Component("chain.rpc")
 // the paper's prototype uses for "data interaction among organizations and
 // the smart contract".
 const (
-	MethodSubmitTx   = "tradefl_submitTransaction"
-	MethodSealBlock  = "tradefl_sealBlock"
-	MethodBalance    = "tradefl_getBalance"
-	MethodNonce      = "tradefl_getNonce"
-	MethodHeight     = "tradefl_blockHeight"
-	MethodGetBlock   = "tradefl_getBlock"
-	MethodPayoffs    = "tradefl_getPayoffs"
-	MethodRecords    = "tradefl_getRecords"
-	MethodVerify     = "tradefl_verifyChain"
-	MethodStatus     = "tradefl_contractStatus"
-	MethodMinDeposit = "tradefl_minDeposit"
-	MethodTxProof    = "tradefl_getTxProof"
-	MethodGetReceipt = "tradefl_getReceipt"
-	MethodStateRoot  = "tradefl_stateRoot"
+	MethodSubmitTx = "tradefl_submitTransaction"
+	// MethodSubmitTxBatch amortizes one round-trip and one WAL group commit
+	// over a whole batch of transactions (SubmitTxBatch).
+	MethodSubmitTxBatch = "tradefl_submitTransactionBatch"
+	MethodSealBlock     = "tradefl_sealBlock"
+	MethodBalance       = "tradefl_getBalance"
+	MethodNonce         = "tradefl_getNonce"
+	MethodHeight        = "tradefl_blockHeight"
+	MethodGetBlock      = "tradefl_getBlock"
+	MethodPayoffs       = "tradefl_getPayoffs"
+	MethodRecords       = "tradefl_getRecords"
+	MethodVerify        = "tradefl_verifyChain"
+	MethodStatus        = "tradefl_contractStatus"
+	MethodMinDeposit    = "tradefl_minDeposit"
+	MethodTxProof       = "tradefl_getTxProof"
+	MethodGetReceipt    = "tradefl_getReceipt"
+	MethodStateRoot     = "tradefl_stateRoot"
 )
 
 // rpcRequest is a JSON-RPC 2.0 request. Trace is a TradeFL extension: an
@@ -205,6 +208,12 @@ func (s *Server) dispatch(method string, params json.RawMessage) (any, error) {
 			return nil, err
 		}
 		return true, nil
+	case MethodSubmitTxBatch:
+		var txs []Transaction
+		if err := json.Unmarshal(params, &txs); err != nil {
+			return nil, fmt.Errorf("bad tx batch: %w", err)
+		}
+		return s.bc.SubmitTxBatch(txs)
 	case MethodSealBlock:
 		return s.bc.SealBlock()
 	case MethodBalance:
@@ -532,6 +541,32 @@ func (c *Client) SubmitTxCtx(ctx context.Context, tx *Transaction) error {
 		return nil
 	}
 	return err
+}
+
+// SubmitTxBatch submits a batch of signed transactions in one round-trip;
+// the node admits them under a single lock hold and one WAL group commit.
+// Per-transaction outcomes come back in order; like SubmitTx, dedup hits
+// are reported as accepted (Known), so blind retry of a whole batch is
+// safe. It implements TxBatchSubmitter.
+func (c *Client) SubmitTxBatch(txs []Transaction) ([]SubmitResult, error) {
+	return c.SubmitTxBatchCtx(context.Background(), txs)
+}
+
+// SubmitTxBatchCtx is SubmitTxBatch with caller-controlled cancellation.
+func (c *Client) SubmitTxBatchCtx(ctx context.Context, txs []Transaction) ([]SubmitResult, error) {
+	if len(txs) == 0 {
+		return nil, nil
+	}
+	var results []SubmitResult
+	if err := c.CallCtx(ctx, MethodSubmitTxBatch, txs, &results); err != nil {
+		return nil, err
+	}
+	for i := range results {
+		if results[i].Known {
+			mClientDedups.Inc()
+		}
+	}
+	return results, nil
 }
 
 // IsAlreadyKnown reports whether err is the node's duplicate-transaction

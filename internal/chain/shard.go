@@ -1,0 +1,268 @@
+package chain
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Default sizing of the sharded settlement path.
+const (
+	// DefaultShards is the account-state shard count (K). Shard assignment
+	// is a pure function of the address, so any K produces the same sealed
+	// blocks — K only controls how much execution can run concurrently.
+	DefaultShards = 8
+	// DefaultDedupHorizon is how many sealed blocks keep their tx hashes in
+	// the O(1) dedup index before FIFO eviction (see pruneDedupLocked). It
+	// comfortably exceeds the mempool plus any realistic retry window;
+	// evicted-but-sealed txs are still rejected via the receipt scan.
+	DefaultDedupHorizon = 1024
+)
+
+// Options tunes the sharded settlement path of a Blockchain. The zero value
+// selects the defaults (K=8 shards, pooled workers, pipelined sealing).
+// Every option is execution-strategy only: sealed blocks, receipts and
+// state roots are byte-identical for any setting.
+type Options struct {
+	// Shards is the account-state shard count K (0 = DefaultShards).
+	Shards int
+	// Workers bounds the parallel execution fan-out within a block
+	// (0 = the shared pool default, negative = serial).
+	Workers int
+	// SerialAdmission disables the seal pipeline: SubmitTx/SubmitTxBatch
+	// serialize against SealBlock (the pre-pipeline behavior) instead of
+	// admitting into the next block while the previous one executes and
+	// fsyncs.
+	SerialAdmission bool
+	// DedupHorizon is the number of recent sealed blocks whose tx hashes
+	// stay in the O(1) dedup index (0 = DefaultDedupHorizon, negative =
+	// unbounded).
+	DedupHorizon int
+
+	// refExec routes block execution through the retained pre-sharding
+	// reference executor (full-state clone per tx). It is the equivalence
+	// oracle and the serial benchmark baseline; tests and benches in this
+	// package set it.
+	refExec bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards == 0 {
+		o.Shards = DefaultShards
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.DedupHorizon == 0 {
+		o.DedupHorizon = DefaultDedupHorizon
+	}
+	return o
+}
+
+// shardOf maps an address to its shard by FNV-32a hash. The assignment is
+// deterministic and independent of everything but (addr, k), which is what
+// lets any shard count replay any WAL to the identical state root.
+func shardOf(addr Address, k int) int {
+	if k <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(addr))
+	return int(h.Sum32() % uint32(k))
+}
+
+// ledgerShard is one account-state partition: balances and nonces for the
+// addresses hashing to it, guarded by its own lock so reads (Balance/Nonce
+// polling) and disjoint-group execution never contend globally.
+type ledgerShard struct {
+	mu  sync.RWMutex
+	bal map[Address]Wei
+	non map[Address]uint64
+}
+
+// ledger is the sharded account state plus the (unsharded) contract. The
+// contract is only mutated during block execution under the chain's execMu;
+// shard maps are mutated under the shard lock.
+type ledger struct {
+	shards   []*ledgerShard
+	contract *Contract
+}
+
+func newLedger(k int, contract *Contract) *ledger {
+	led := &ledger{shards: make([]*ledgerShard, k), contract: contract}
+	for i := range led.shards {
+		led.shards[i] = &ledgerShard{bal: map[Address]Wei{}, non: map[Address]uint64{}}
+	}
+	return led
+}
+
+// shard returns the home shard of addr.
+func (led *ledger) shard(addr Address) *ledgerShard {
+	return led.shards[shardOf(addr, len(led.shards))]
+}
+
+// balance reads addr's balance under its shard lock.
+func (led *ledger) balance(addr Address) Wei {
+	sh := led.shard(addr)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.bal[addr]
+}
+
+// nonce reads addr's next state nonce under its shard lock.
+func (led *ledger) nonce(addr Address) uint64 {
+	sh := led.shard(addr)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.non[addr]
+}
+
+// mergedState materializes the ledger as the flat pre-sharding state value.
+// The merged maps are fresh copies; the contract pointer is shared.
+func (led *ledger) mergedState() *state {
+	st := &state{
+		Balances: map[Address]Wei{},
+		Nonces:   map[Address]uint64{},
+		Contract: led.contract,
+	}
+	for _, sh := range led.shards {
+		sh.mu.RLock()
+		for a, v := range sh.bal {
+			st.Balances[a] = v
+		}
+		for a, v := range sh.non {
+			st.Nonces[a] = v
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// replaceFrom scatters a flat state back into the shards and installs its
+// contract — the write half of the reference-executor round trip.
+func (led *ledger) replaceFrom(st *state) {
+	for _, sh := range led.shards {
+		sh.mu.Lock()
+	}
+	for _, sh := range led.shards {
+		sh.bal = map[Address]Wei{}
+		sh.non = map[Address]uint64{}
+	}
+	for a, v := range st.Balances {
+		led.shard(a).bal[a] = v
+	}
+	for a, v := range st.Nonces {
+		led.shard(a).non[a] = v
+	}
+	led.contract = st.Contract
+	for _, sh := range led.shards {
+		sh.mu.Unlock()
+	}
+}
+
+// root hashes the ledger exactly as the flat state serializes: merged maps
+// marshal with sorted keys, so the digest is byte-identical for any K.
+func (led *ledger) root() (string, error) {
+	return led.mergedState().root()
+}
+
+// shardWei sums each shard's balances — the per-shard half of the
+// conservation audit.
+func (led *ledger) shardWei() []Wei {
+	out := make([]Wei, len(led.shards))
+	for i, sh := range led.shards {
+		sh.mu.RLock()
+		for _, v := range sh.bal {
+			out[i] += v
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// shardNonces sums each shard's nonces; the per-block delta must be
+// nonnegative per shard and total exactly the block's tx count (every
+// pool-admitted tx — success or failure — consumes one nonce).
+func (led *ledger) shardNonces() []int64 {
+	out := make([]int64, len(led.shards))
+	for i, sh := range led.shards {
+		sh.mu.RLock()
+		for _, v := range sh.non {
+			out[i] += int64(v)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// escrowWei sums the wei held by the contract itself: posted deposits plus
+// calculated-but-untransferred payoffs (payoffs sum to zero once the
+// rounding residual is charged, so this is Σ deposits between calculate and
+// transfer).
+func (led *ledger) escrowWei() Wei {
+	var sum Wei
+	for _, ms := range led.contract.MemberData {
+		sum += ms.Deposit + ms.Payoff
+	}
+	return sum
+}
+
+// cloneContract snapshots the contract for global-transaction rollback: a
+// structural copy of the mutable parts. Params is immutable during
+// execution (the overlay views share it), memberState is a pure value (the
+// overlay's copy-on-read already depends on that), and Records is
+// append-only, so copying the map and the slice header set is an exact
+// snapshot — without the JSON round trip the pre-sharding executor paid per
+// transaction. The error return is kept for call-site parity with the
+// reference executor's fallible clone.
+func cloneContract(c *Contract) (*Contract, error) {
+	out := *c
+	out.MemberData = make(map[Address]memberState, len(c.MemberData))
+	for a, ms := range c.MemberData {
+		out.MemberData[a] = ms
+	}
+	out.Records = append([]ProfileEntry(nil), c.Records...)
+	return &out, nil
+}
+
+// acctSnap remembers one account's exact pre-transaction shape — value and
+// key presence — so a failed transaction restores the maps bit-for-bit.
+type acctSnap struct {
+	bal    Wei
+	hadBal bool
+	non    uint64
+	hadNon bool
+}
+
+func snapAcct(sh *ledgerShard, addr Address) acctSnap {
+	var s acctSnap
+	s.bal, s.hadBal = sh.bal[addr]
+	s.non, s.hadNon = sh.non[addr]
+	return s
+}
+
+func (s acctSnap) restore(sh *ledgerShard, addr Address) {
+	if s.hadBal {
+		sh.bal[addr] = s.bal
+	} else {
+		delete(sh.bal, addr)
+	}
+	if s.hadNon {
+		sh.non[addr] = s.non
+	} else {
+		delete(sh.non, addr)
+	}
+}
+
+// sortedShardSet returns the deduplicated, ascending shard ids — the lock
+// acquisition order that keeps two-phase cross-shard transfers deadlock-free.
+func sortedShardSet(ids []int) []int {
+	sort.Ints(ids)
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,537 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tradefl/internal/randx"
+)
+
+// fixtureParts builds the deterministic genesis of the shared test fixture
+// (seed 42) without constructing a chain, so tests can pick their own
+// Options — or several chains over the identical genesis.
+func fixtureParts(t *testing.T, n int) (*Account, []*Account, ContractParams, GenesisAlloc) {
+	t.Helper()
+	src := randx.New(42)
+	authority, err := NewAccount(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accounts := make([]*Account, n)
+	members := make([]Address, n)
+	bits := make([]float64, n)
+	rho := make([][]float64, n)
+	alloc := GenesisAlloc{}
+	for i := range accounts {
+		if accounts[i], err = NewAccount(src); err != nil {
+			t.Fatal(err)
+		}
+		members[i] = accounts[i].Address()
+		bits[i] = 2e10
+		alloc[members[i]] = 1_000_000_000
+		rho[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			rho[i][j], rho[j][i] = 0.1, 0.1
+		}
+	}
+	params := ContractParams{Members: members, Rho: rho, DataBits: bits, Gamma: 2e-8, Lambda: 0.1}
+	return authority, accounts, params, alloc
+}
+
+func newFixtureOpts(t *testing.T, n int, opts Options) *fixture {
+	t.Helper()
+	authority, accounts, params, alloc := fixtureParts(t, n)
+	bc, err := NewBlockchainOpts(authority, params, alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{bc: bc, authority: authority, accounts: accounts, params: params}
+}
+
+// mixedWorkload drives a settlement lifecycle salted with cross-shard
+// transfers and every execution-time failure mode, tracking nonces locally
+// (the pending frontier advances mid-block). It returns the sealed blocks,
+// including a deliberately empty one.
+func mixedWorkload(t *testing.T, bc *Blockchain, accounts []*Account, params ContractParams) []*Block {
+	t.Helper()
+	nonces := map[Address]uint64{}
+	submit := func(acct *Account, fn Function, args any, value Wei) {
+		t.Helper()
+		nonce := nonces[acct.Address()]
+		nonces[acct.Address()] = nonce + 1
+		tx, err := NewTransaction(acct, nonce, fn, args, value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bc.SubmitTx(*tx); err != nil {
+			t.Fatalf("SubmitTx(%s): %v", fn, err)
+		}
+	}
+	var blocks []*Block
+	seal := func() {
+		t.Helper()
+		b, err := bc.SealBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, b)
+	}
+
+	// Block 1: deposits plus a gauntlet of transfers — a chained pair that
+	// forces a cross-shard conflict group, a self-transfer, and the failure
+	// modes (zero address, bad args, zero value, insufficient balance).
+	for i, a := range accounts {
+		submit(a, FnDepositSubmit, nil, MinDeposit(params, i, 5e9))
+	}
+	submit(accounts[0], FnTransfer, TransferArgs{To: accounts[1].Address()}, 1_000)
+	submit(accounts[1], FnTransfer, TransferArgs{To: accounts[2].Address()}, 500)
+	submit(accounts[3], FnTransfer, TransferArgs{To: accounts[3].Address()}, 250)
+	submit(accounts[4], FnTransfer, TransferArgs{To: ZeroAddress}, 100)
+	submit(accounts[0], FnTransfer, "junk", 100)
+	submit(accounts[2], FnTransfer, TransferArgs{To: accounts[0].Address()}, 0)
+	submit(accounts[5], FnTransfer, TransferArgs{To: accounts[0].Address()}, 1<<60)
+	seal()
+
+	// Block 2: contributions (shard-local contract calls).
+	for i, a := range accounts {
+		submit(a, FnContributionSubmit, Contribution{D: 0.15 * float64(i+1), F: 3e9}, 0)
+	}
+	seal()
+
+	// Empty block: pins the "txs":null serialization identity.
+	seal()
+
+	// Block 4: global settlement (world-stopped path) plus records.
+	submit(accounts[0], FnPayoffCalculate, nil, 0)
+	for _, a := range accounts {
+		submit(a, FnPayoffTransfer, nil, 0)
+	}
+	for _, a := range accounts {
+		submit(a, FnProfileRecord, nil, 0)
+	}
+	seal()
+	return blocks
+}
+
+// TestShardEquivalenceAcrossK is the determinism acceptance test: the same
+// workload sealed under the reference executor and under every (K, workers,
+// pipeline) combination must produce byte-identical header hashes — which
+// covers txs, receipts, state roots, prev-links and seals at every height.
+func TestShardEquivalenceAcrossK(t *testing.T) {
+	const n = 6
+	type cfg struct {
+		name string
+		opts Options
+	}
+	oracle := cfg{"refExec-serial", Options{Shards: 1, SerialAdmission: true, refExec: true}}
+	variants := []cfg{
+		{"k1", Options{Shards: 1}},
+		{"k2-w1", Options{Shards: 2, Workers: 1}},
+		{"k3-w4", Options{Shards: 3, Workers: 4}},
+		{"k8", Options{Shards: 8}},
+		{"k8-serial", Options{Shards: 8, SerialAdmission: true}},
+		{"k32-w4", Options{Shards: 32, Workers: 4}},
+		{"k8-wneg", Options{Shards: 8, Workers: -1}},
+	}
+	run := func(c cfg) ([]*Block, *Blockchain) {
+		f := newFixtureOpts(t, n, c.opts)
+		return mixedWorkload(t, f.bc, f.accounts, f.params), f.bc
+	}
+	want, wantBC := run(oracle)
+	wantHashes := make([]string, len(want))
+	for i, b := range want {
+		h, err := b.HeaderHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHashes[i] = h
+	}
+	// The workload must actually exercise both failure and success paths.
+	okc, failc := 0, 0
+	for _, r := range want[0].Receipts {
+		if r.OK {
+			okc++
+		} else {
+			failc++
+		}
+	}
+	if okc == 0 || failc < 4 {
+		t.Fatalf("workload block 1 has %d ok / %d failed receipts; want both populated", okc, failc)
+	}
+	for _, c := range variants {
+		got, gotBC := run(c)
+		if len(got) != len(want) {
+			t.Fatalf("%s sealed %d blocks, oracle %d", c.name, len(got), len(want))
+		}
+		for i, b := range got {
+			h, err := b.HeaderHash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h != wantHashes[i] {
+				t.Errorf("%s block %d header %s != oracle %s\n got: %+v\nwant: %+v",
+					c.name, b.Height, h, wantHashes[i], b, want[i])
+			}
+		}
+		if gotBC.StateRoot() != wantBC.StateRoot() {
+			t.Errorf("%s final state root %s != oracle %s", c.name, gotBC.StateRoot(), wantBC.StateRoot())
+		}
+		if err := gotBC.VerifyChain(); err != nil {
+			t.Errorf("%s: VerifyChain: %v", c.name, err)
+		}
+	}
+}
+
+// TestCrossShardTransfer pins the two-phase debit/credit: value moves
+// between accounts homed on different shards, conservation holds, and every
+// rejection consumes the sender's nonce without moving value.
+func TestCrossShardTransfer(t *testing.T) {
+	const k = 8
+	f := newFixtureOpts(t, 6, Options{Shards: k})
+	var from, to *Account
+	for _, a := range f.accounts[1:] {
+		if shardOf(a.Address(), k) != shardOf(f.accounts[0].Address(), k) {
+			from, to = f.accounts[0], a
+			break
+		}
+	}
+	if from == nil {
+		t.Fatal("no cross-shard account pair in fixture")
+	}
+	total := func() Wei {
+		var sum Wei
+		for _, a := range f.accounts {
+			sum += f.bc.Balance(a.Address())
+		}
+		return sum
+	}
+	startTotal, startFrom, startTo := total(), f.bc.Balance(from.Address()), f.bc.Balance(to.Address())
+
+	f.sendOK(t, from, FnTransfer, TransferArgs{To: to.Address()}, 12_345)
+	if got := f.bc.Balance(from.Address()); got != startFrom-12_345 {
+		t.Errorf("sender balance %d, want %d", got, startFrom-12_345)
+	}
+	if got := f.bc.Balance(to.Address()); got != startTo+12_345 {
+		t.Errorf("receiver balance %d, want %d", got, startTo+12_345)
+	}
+	if total() != startTotal {
+		t.Errorf("transfer minted/burned wei: %d -> %d", startTotal, total())
+	}
+
+	fails := []struct {
+		name  string
+		args  any
+		value Wei
+		want  string
+	}{
+		{"zero-address", TransferArgs{To: ZeroAddress}, 5, "transfer to zero address"},
+		{"bad-args", "junk", 5, "transfer:"},
+		{"zero-value", TransferArgs{To: to.Address()}, 0, "transfer value must be positive"},
+		{"insufficient", TransferArgs{To: to.Address()}, 1 << 60, "needs"},
+	}
+	for _, tc := range fails {
+		nonceBefore := f.bc.Nonce(from.Address())
+		balBefore := total()
+		f.send(t, from, FnTransfer, tc.args, tc.value, false)
+		b, _ := f.bc.BlockAt(f.bc.Height())
+		rcpt := b.Receipts[len(b.Receipts)-1]
+		if !strings.Contains(rcpt.Error, tc.want) {
+			t.Errorf("%s: receipt error %q, want substring %q", tc.name, rcpt.Error, tc.want)
+		}
+		if got := f.bc.Nonce(from.Address()); got != nonceBefore+1 {
+			t.Errorf("%s: nonce %d, want %d (failed tx must consume a nonce)", tc.name, got, nonceBefore+1)
+		}
+		if total() != balBefore {
+			t.Errorf("%s: failed transfer moved value: %d -> %d", tc.name, balBefore, total())
+		}
+	}
+
+	// Self-transfer is a no-op on the balance but consumes a nonce.
+	selfBefore := f.bc.Balance(from.Address())
+	f.sendOK(t, from, FnTransfer, TransferArgs{To: from.Address()}, 77)
+	if got := f.bc.Balance(from.Address()); got != selfBefore {
+		t.Errorf("self-transfer changed balance: %d -> %d", selfBefore, got)
+	}
+}
+
+// TestShardDedupHorizonEviction bounds the dedup index: hashes evicted at
+// the FIFO horizon must still be rejected on resubmission — through the
+// receipt index — and their receipts must stay queryable.
+func TestShardDedupHorizonEviction(t *testing.T) {
+	f := newFixtureOpts(t, 3, Options{Shards: 2, DedupHorizon: 2})
+	acct := f.accounts[0]
+	var txs []*Transaction
+	for i := 0; i < 5; i++ {
+		tx, err := NewTransaction(acct, uint64(i), FnDepositSubmit, nil, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs = append(txs, tx)
+		if err := f.bc.SubmitTx(*tx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.bc.SealBlock(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.bc.poolMu.RLock()
+	indexed, evictedBelow := len(f.bc.sealedRcpt), f.bc.evictedBelow
+	f.bc.poolMu.RUnlock()
+	if indexed != 2 {
+		t.Errorf("dedup index holds %d hashes, want horizon 2", indexed)
+	}
+	if evictedBelow != 4 {
+		t.Errorf("evictedBelow = %d, want 4 (blocks 1-3 evicted)", evictedBelow)
+	}
+
+	// Resubmitting an evicted-but-sealed tx must still be the idempotent
+	// dedup rejection, not a fresh admission or a bare nonce error.
+	err := f.bc.SubmitTx(*txs[0])
+	if !errors.Is(err, ErrTxAlreadyKnown) {
+		t.Fatalf("evicted sealed tx resubmission: %v, want ErrTxAlreadyKnown", err)
+	}
+	if !strings.Contains(err.Error(), "sealed at height 1") {
+		t.Errorf("dedup error %q does not carry the sealed height", err)
+	}
+	// A never-sealed tx at a stale nonce is a plain nonce rejection.
+	other, err := NewTransaction(acct, 0, FnDepositSubmit, nil, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.bc.SubmitTx(*other); !errors.Is(err, ErrBadNonce) {
+		t.Fatalf("stale-nonce fresh tx: %v, want ErrBadNonce", err)
+	}
+	// Receipts for evicted hashes resolve through the block scan.
+	hash, err := txs[0].Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcpt, err := f.bc.ReceiptByHash(hash)
+	if err != nil {
+		t.Fatalf("ReceiptByHash(evicted): %v", err)
+	}
+	if rcpt.Height != 1 || !rcpt.OK {
+		t.Errorf("evicted receipt = %+v, want OK at height 1", rcpt)
+	}
+}
+
+// TestShardReadPathContention is the regression test for shard-local reads:
+// Balance/Nonce/PendingCount must complete while block execution holds the
+// execution stage and while other shards are locked — i.e. reads take only
+// pool/shard read locks, never the seal pipeline.
+func TestShardReadPathContention(t *testing.T) {
+	const k = 4
+	f := newFixtureOpts(t, 6, Options{Shards: k})
+	addr := f.accounts[0].Address()
+	readAll := func() {
+		_ = f.bc.Balance(addr)
+		_ = f.bc.Nonce(addr)
+		_ = f.bc.PendingCount()
+	}
+	mustFinish := func(name string, fn func()) {
+		t.Helper()
+		done := make(chan struct{})
+		go func() { fn(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s blocked: read path contends with a writer lock it must not take", name)
+		}
+	}
+	// The seal sequencer (pipeline stage gate) must not gate reads.
+	f.bc.sealSeq.Lock()
+	mustFinish("reads under sealSeq", readAll)
+	f.bc.sealSeq.Unlock()
+	// A foreign shard's write lock must not gate reads of another shard.
+	var other *Account
+	for _, a := range f.accounts[1:] {
+		if shardOf(a.Address(), k) != shardOf(addr, k) {
+			other = a
+			break
+		}
+	}
+	if other == nil {
+		t.Fatal("no cross-shard account pair")
+	}
+	sh := f.bc.led.shard(other.Address())
+	sh.mu.Lock()
+	mustFinish("reads under foreign shard lock", func() {
+		_ = f.bc.Balance(addr)
+		_ = f.bc.Nonce(addr)
+	})
+	sh.mu.Unlock()
+
+	// And under full load: concurrent readers against a seal loop, raced.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					readAll()
+				}
+			}
+		}()
+	}
+	nonces := map[Address]uint64{}
+	for i := 0; i < 20; i++ {
+		acct := f.accounts[i%len(f.accounts)]
+		nonce := nonces[acct.Address()]
+		nonces[acct.Address()] = nonce + 1
+		tx, err := NewTransaction(acct, nonce, FnDepositSubmit, nil, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.bc.SubmitTx(*tx); err != nil {
+			t.Fatal(err)
+		}
+		if i%4 == 3 {
+			if _, err := f.bc.SealBlock(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestApplySealedBlockPrefix pins the pipelined-replica contract: a sealed
+// block carrying a strict prefix of the local pool applies cleanly and
+// leaves the remainder pending, while a block longer than the pool is the
+// divergence error.
+func TestApplySealedBlockPrefix(t *testing.T) {
+	leader := newFixtureOpts(t, 3, Options{Shards: 8})
+	follower := newFixtureOpts(t, 3, Options{Shards: 2})
+
+	mk := func(i int, nonce uint64, value Wei) *Transaction {
+		tx, err := NewTransaction(leader.accounts[i], nonce, FnDepositSubmit, nil, value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tx
+	}
+	tx0, tx1, tx2 := mk(0, 0, 10), mk(1, 0, 11), mk(2, 0, 12)
+	for _, tx := range []*Transaction{tx0, tx1} {
+		if err := leader.bc.SubmitTx(*tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sealed, err := leader.bc.SealBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The follower holds one extra tx the leader hasn't sealed yet.
+	for _, tx := range []*Transaction{tx0, tx1, tx2} {
+		if err := follower.bc.SubmitTx(*tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := follower.bc.ApplySealedBlock(sealed); err != nil {
+		t.Fatalf("prefix apply: %v", err)
+	}
+	if h := follower.bc.Height(); h != 1 {
+		t.Errorf("follower height %d, want 1", h)
+	}
+	if p := follower.bc.PendingCount(); p != 1 {
+		t.Errorf("follower pending %d, want the 1 unsealed remainder", p)
+	}
+	if follower.bc.StateRoot() != leader.bc.StateRoot() {
+		t.Errorf("state roots diverged despite different K: %s vs %s",
+			follower.bc.StateRoot(), leader.bc.StateRoot())
+	}
+	// The remainder seals as the follower's own next block.
+	b2, err := follower.bc.SealBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b2.Txs) != 1 || b2.Txs[0].Nonce != tx2.Nonce || b2.Txs[0].From != tx2.From {
+		t.Errorf("follower block 2 sealed %+v, want the remainder tx", b2.Txs)
+	}
+
+	// A sealed block longer than the local pool cannot be a prefix.
+	lonely := newFixtureOpts(t, 3, Options{Shards: 2})
+	if err := lonely.bc.SubmitTx(*tx0); err != nil {
+		t.Fatal(err)
+	}
+	if err := lonely.bc.ApplySealedBlock(sealed); err == nil ||
+		!strings.Contains(err.Error(), "sealed block carries 2 txs, local pool has 1") {
+		t.Errorf("overlong sealed block applied: %v", err)
+	}
+}
+
+// TestShardedWALRecovery reopens one durable directory under different
+// shard counts: recovery, pipelined or not, must reproduce the identical
+// height and state root, and point-in-time views must match the sealed
+// roots regardless of K.
+func TestShardedWALRecovery(t *testing.T) {
+	authority, accounts, params, alloc := fixtureParts(t, 6)
+	dir := t.TempDir()
+	bc, err := OpenDurableOpts(dir, authority, params, alloc, Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := mixedWorkload(t, bc, accounts, params)
+	wantHeight, wantRoot := bc.Height(), bc.StateRoot()
+	if err := bc.CloseDurable(); err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{Shards: 1, SerialAdmission: true},
+		{Shards: 3},
+		{Shards: 8, Workers: 2},
+	} {
+		rec, err := RecoverOpts(dir, authority, opts)
+		if err != nil {
+			t.Fatalf("RecoverOpts(%+v): %v", opts, err)
+		}
+		if rec.Height() != wantHeight || rec.StateRoot() != wantRoot {
+			t.Errorf("RecoverOpts(%+v): height %d root %s, want %d %s",
+				opts, rec.Height(), rec.StateRoot(), wantHeight, wantRoot)
+		}
+		if err := rec.CloseDurable(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Point-in-time views at each sealed height, under yet another K.
+	for _, b := range blocks {
+		view, err := RecoverAtOpts(dir, authority, b.Height, Options{Shards: 5})
+		if err != nil {
+			t.Fatalf("RecoverAtOpts(%d): %v", b.Height, err)
+		}
+		if view.Height() != b.Height || view.StateRoot() != b.StateRoot {
+			t.Errorf("PITR at %d: height %d root %s, want %s", b.Height, view.Height(), view.StateRoot(), b.StateRoot)
+		}
+	}
+}
+
+// TestShardOfStability pins the shard assignment function: it must be a
+// pure function of (addr, k) — any change silently breaks cross-K replay
+// of existing WALs that carry failure receipts ordered by shard grouping.
+func TestShardOfStability(t *testing.T) {
+	if got := shardOf("addr-a", 1); got != 0 {
+		t.Errorf("shardOf(k=1) = %d, want 0", got)
+	}
+	for k := 2; k <= 64; k *= 2 {
+		for i := 0; i < 100; i++ {
+			addr := Address(fmt.Sprintf("member-%d", i))
+			s := shardOf(addr, k)
+			if s < 0 || s >= k {
+				t.Fatalf("shardOf(%s, %d) = %d out of range", addr, k, s)
+			}
+			if again := shardOf(addr, k); again != s {
+				t.Fatalf("shardOf not deterministic: %d then %d", s, again)
+			}
+		}
+	}
+}

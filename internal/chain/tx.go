@@ -39,6 +39,34 @@ const (
 	FnProfileRecord      Function = "profileRecord"
 )
 
+// FnTransfer is a chain-native value transfer: it moves the attached Value
+// from the sender to TransferArgs.To without touching the contract. It is
+// the cross-shard workload of the sharded executor — debit and credit land
+// on the two accounts' home shards in a deterministic two-phase order.
+const FnTransfer Function = "transfer"
+
+// TransferArgs is the argument of FnTransfer.
+type TransferArgs struct {
+	To Address `json:"to"`
+}
+
+// transferDest decodes and validates a transfer's destination. Both
+// executors (sharded and reference) route through it, so a malformed
+// transfer fails with the identical receipt either way.
+func transferDest(tx *Transaction) (Address, error) {
+	var a TransferArgs
+	if err := json.Unmarshal(tx.Args, &a); err != nil {
+		return ZeroAddress, fmt.Errorf("%w: transfer: %v", ErrBadArgs, err)
+	}
+	if a.To == ZeroAddress {
+		return ZeroAddress, fmt.Errorf("%w: transfer to zero address", ErrBadArgs)
+	}
+	if tx.Value <= 0 {
+		return ZeroAddress, fmt.Errorf("%w: transfer value must be positive", ErrBadArgs)
+	}
+	return a.To, nil
+}
+
 // Transaction is a signed contract call.
 type Transaction struct {
 	// From is the sender address (must match the public key).

@@ -10,16 +10,16 @@ import (
 // benchChain builds a W-member chain, in-memory or WAL-backed, plus one
 // pre-signed tx sequence per member so the timed region measures SubmitTx
 // alone (verification + admission + durability), not signing.
-func benchChain(b testing.TB, withWAL bool, workers, perWorker int) (*Blockchain, [][]Transaction) {
+func benchChain(b testing.TB, withWAL bool, workers, perWorker int, opts Options) (*Blockchain, [][]Transaction) {
 	dir := ""
 	if withWAL {
 		dir = b.TempDir()
 	}
-	return benchChainAt(b, dir, workers, perWorker)
+	return benchChainAt(b, dir, workers, perWorker, opts)
 }
 
 // benchChainAt is benchChain with an explicit WAL directory ("" = no WAL).
-func benchChainAt(b testing.TB, dir string, workers, perWorker int) (*Blockchain, [][]Transaction) {
+func benchChainAt(b testing.TB, dir string, workers, perWorker int, opts Options) (*Blockchain, [][]Transaction) {
 	b.Helper()
 	src := randx.New(7)
 	authority, err := NewAccount(src)
@@ -48,9 +48,9 @@ func benchChainAt(b testing.TB, dir string, workers, perWorker int) (*Blockchain
 	params := ContractParams{Members: members, Rho: rho, DataBits: bits, Gamma: 2e-8, Lambda: 0.1}
 	var bc *Blockchain
 	if dir != "" {
-		bc, err = OpenDurable(dir, authority, params, alloc)
+		bc, err = OpenDurableOpts(dir, authority, params, alloc, opts)
 	} else {
-		bc, err = NewBlockchain(authority, params, alloc)
+		bc, err = NewBlockchainOpts(authority, params, alloc, opts)
 	}
 	if err != nil {
 		b.Fatal(err)
@@ -72,16 +72,29 @@ func benchChainAt(b testing.TB, dir string, workers, perWorker int) (*Blockchain
 // BenchmarkChainSubmitTx compares the in-memory admission path against the
 // WAL-backed one under concurrent load, where group commit amortizes each
 // fsync over every tx waiting in the queue. scripts/benchcmp's wal-gate
-// holds the wal/mem ratio to the durability budget.
+// holds the wal/mem ratio to the durability budget. The wal-batch variant
+// routes the same load through a shared BatchSubmitter (SubmitTxBatch),
+// and wal-nopipe pins the pre-pipelining serial-admission mode.
 func BenchmarkChainSubmitTx(b *testing.B) {
 	const workers = 256
 	for _, tc := range []struct {
 		name    string
 		withWAL bool
-	}{{"mem", false}, {"wal", true}} {
+		opts    Options
+		batch   bool
+	}{
+		{name: "mem"},
+		{name: "wal", withWAL: true},
+		{name: "wal-batch", withWAL: true, batch: true},
+		{name: "wal-nopipe", withWAL: true, opts: Options{SerialAdmission: true}},
+	} {
 		b.Run(tc.name, func(b *testing.B) {
 			perWorker := (b.N + workers - 1) / workers
-			bc, txs := benchChain(b, tc.withWAL, workers, perWorker)
+			bc, txs := benchChain(b, tc.withWAL, workers, perWorker, tc.opts)
+			var bs *BatchSubmitter
+			if tc.batch {
+				bs = NewBatchSubmitter(bc, BatchOptions{})
+			}
 			b.ResetTimer()
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
@@ -89,7 +102,13 @@ func BenchmarkChainSubmitTx(b *testing.B) {
 				go func(w int) {
 					defer wg.Done()
 					for i := range txs[w] {
-						if err := bc.SubmitTx(txs[w][i]); err != nil {
+						var err error
+						if bs != nil {
+							err = bs.Submit(txs[w][i])
+						} else {
+							err = bc.SubmitTx(txs[w][i])
+						}
+						if err != nil {
 							b.Errorf("worker %d tx %d: %v", w, i, err)
 							return
 						}
@@ -98,6 +117,9 @@ func BenchmarkChainSubmitTx(b *testing.B) {
 			}
 			wg.Wait()
 			b.StopTimer()
+			if bs != nil {
+				bs.Close()
+			}
 			if tc.withWAL {
 				if err := bc.CloseDurable(); err != nil {
 					b.Fatal(err)

@@ -70,6 +70,24 @@ type Options struct {
 	// WALDir is the durable chain's directory (default: a fresh temp dir,
 	// removed after the soak).
 	WALDir string
+	// Shards fixes the chain's account-shard count K. 0 means: the chain
+	// default for the fault-free soak, and a seeded per-cycle rotation of K
+	// in the crash soak — every recovery then reopens the same durable
+	// directory under a different shard count and must still reproduce the
+	// acknowledged height/state-root/mempool exactly.
+	Shards int
+	// NoPipeline disables the chain's seal pipeline (serial admission), the
+	// pre-pipelining execution mode.
+	NoPipeline bool
+	// Batch routes member submissions through a shared BatchSubmitter, so
+	// the soak exercises SubmitTxBatch (one round-trip, one WAL group
+	// commit per flush) instead of per-tx SubmitTx.
+	Batch bool
+}
+
+// chainOpts maps the soak's chain knobs onto chain.Options.
+func (o Options) chainOpts(shards int) chain.Options {
+	return chain.Options{Shards: shards, SerialAdmission: o.NoPipeline}
 }
 
 func (o Options) withDefaults() Options {
@@ -354,7 +372,7 @@ func runSettlement(ctx context.Context, cfg *game.Config, opts Options, inj *fau
 		return err
 	}
 	accounts, members := gen.accounts, gen.members
-	bc, err := chain.NewBlockchain(gen.authority, gen.params, gen.alloc)
+	bc, err := chain.NewBlockchainOpts(gen.authority, gen.params, gen.alloc, opts.chainOpts(opts.Shards))
 	if err != nil {
 		return err
 	}
@@ -365,6 +383,22 @@ func runSettlement(ctx context.Context, cfg *game.Config, opts Options, inj *fau
 	serveDone := make(chan struct{})
 	go func() { defer close(serveDone); _ = srv.Serve() }()
 	defer func() { _ = srv.Close(); <-serveDone }()
+
+	// With batching on, every member's submissions funnel through one
+	// shared micro-batcher (its own fault lane), so concurrent lifecycle
+	// phases coalesce into SubmitTxBatch calls.
+	var batcher *chain.BatchSubmitter
+	if opts.Batch {
+		batchClient := chain.NewClientOpts(srv.Addr(), chain.ClientOptions{
+			Timeout:     5 * time.Second,
+			MaxRetries:  10,
+			BaseBackoff: 5 * time.Millisecond,
+			MaxBackoff:  100 * time.Millisecond,
+			Transport:   inj.RoundTripper("batch", nil),
+		})
+		batcher = chain.NewBatchSubmitter(batchClient, chain.BatchOptions{})
+		defer batcher.Close()
+	}
 
 	before := make([]chain.Wei, n)
 	for i, m := range members {
@@ -411,7 +445,7 @@ func runSettlement(ctx context.Context, cfg *game.Config, opts Options, inj *fau
 				MaxBackoff:  100 * time.Millisecond,
 				Transport:   inj.RoundTripper(fmt.Sprintf("org-%d", i), nil),
 			})
-			errs[i] = settleMember(settleCtx, client, accounts[i], i, profile[i])
+			errs[i] = settleMember(settleCtx, client, batcher, accounts[i], i, profile[i])
 		}(i)
 	}
 	wg.Wait()
@@ -446,8 +480,9 @@ func runSettlement(ctx context.Context, cfg *game.Config, opts Options, inj *fau
 // settleMember walks one organization's deposit → contribution →
 // calculate → transfer → record lifecycle through its (faulty) client,
 // tolerating every idempotency rejection a retried or racing phase
-// produces.
-func settleMember(ctx context.Context, client *chain.Client, acct *chain.Account, idx int, strat game.Strategy) error {
+// produces. A non-nil batcher replaces per-tx submission with the shared
+// batched path; receipts are still polled through the member's own client.
+func settleMember(ctx context.Context, client *chain.Client, batcher *chain.BatchSubmitter, acct *chain.Account, idx int, strat game.Strategy) error {
 	const poll = 10 * time.Millisecond
 	send := func(fn chain.Function, fnArgs any, value chain.Wei) error {
 		nonce, err := client.Nonce(acct.Address())
@@ -458,7 +493,12 @@ func settleMember(ctx context.Context, client *chain.Client, acct *chain.Account
 		if err != nil {
 			return err
 		}
-		if err := client.SubmitTxCtx(ctx, tx); err != nil {
+		if batcher != nil {
+			err = batcher.Submit(*tx)
+		} else {
+			err = client.SubmitTxCtx(ctx, tx)
+		}
+		if err != nil {
 			return err
 		}
 		hash, err := tx.Hash()
@@ -562,6 +602,14 @@ func isAlready(err error) bool {
 //	crashmax=DUR   maximum uptime between recoveries (default 500ms)
 //	snapevery=N    checkpoint after every Nth recovery (default 2, -1 off)
 //	waldir=PATH    chain WAL directory (default: fresh temp dir)
+//
+// Sharded-settlement keys:
+//
+//	shards=K       account shard count (0 = chain default; in the crash
+//	               soak 0 rotates K per recovery on the plan seed)
+//	pipeline=0/1   seal pipeline on/off (default 1; 0 = serial admission)
+//	batch=0/1      route submissions through a shared SubmitTxBatch
+//	               micro-batcher (default 0)
 func ParseSpec(spec string) (Options, error) {
 	var opts Options
 	if strings.TrimSpace(spec) == "" {
@@ -646,6 +694,24 @@ func ParseSpec(spec string) (Options, error) {
 			opts.SnapshotEvery = n
 		case "waldir":
 			opts.WALDir = val
+		case "shards":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return opts, fmt.Errorf("chaos: shards = %q (need an integer ≥ 0)", val)
+			}
+			opts.Shards = n
+		case "pipeline":
+			on, err := strconv.ParseBool(val)
+			if err != nil {
+				return opts, fmt.Errorf("chaos: pipeline = %q: %v", val, err)
+			}
+			opts.NoPipeline = !on
+		case "batch":
+			on, err := strconv.ParseBool(val)
+			if err != nil {
+				return opts, fmt.Errorf("chaos: batch = %q: %v", val, err)
+			}
+			opts.Batch = on
 		default:
 			return opts, fmt.Errorf("chaos: unknown key %q", key)
 		}

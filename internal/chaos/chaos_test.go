@@ -69,7 +69,14 @@ func TestParseSpec(t *testing.T) {
 		opts.SuspectAfter != 4 || opts.SealInterval != 10*time.Millisecond || opts.SettleTimeout != 90*time.Second {
 		t.Errorf("harness keys not applied: %+v", opts)
 	}
-	for _, bad := range []string{"orgs=1", "bogus=1", "drop=2", "token=xyz", "seed"} {
+	sh, err := ParseSpec("shards=4,pipeline=0,batch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Shards != 4 || !sh.NoPipeline || !sh.Batch {
+		t.Errorf("sharded-settlement keys not applied: %+v", sh)
+	}
+	for _, bad := range []string{"orgs=1", "bogus=1", "drop=2", "token=xyz", "seed", "shards=-1", "pipeline=x", "batch=x"} {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Errorf("ParseSpec(%q) accepted", bad)
 		}

@@ -171,7 +171,18 @@ func runCrashSettlement(ctx context.Context, cfg *game.Config, opts Options, inj
 		}
 		defer os.RemoveAll(dir)
 	}
-	bc, err := chain.OpenDurable(dir, gen.authority, gen.params, gen.alloc)
+	// Shard-count schedule: a fixed K when requested, otherwise a seeded
+	// rotation — every recovery reopens the same durable directory under a
+	// different K, proving the sharded layout is pure execution strategy
+	// (the acknowledged height/root/mempool must reproduce under any K).
+	rot := randx.New(opts.Plan.Seed ^ 0x73686172) // "shar"
+	nextShards := func() int {
+		if opts.Shards > 0 {
+			return opts.Shards
+		}
+		return 1 + rot.Intn(8)
+	}
+	bc, err := chain.OpenDurableOpts(dir, gen.authority, gen.params, gen.alloc, opts.chainOpts(nextShards()))
 	if err != nil {
 		return err
 	}
@@ -231,7 +242,7 @@ func runCrashSettlement(ctx context.Context, cfg *game.Config, opts Options, inj
 		// The observer has quiesced (Abort joins the syncer), so this is
 		// exactly what the chain acknowledged before it died.
 		wantHeight, wantRoot, wantPending := tracker.snapshot()
-		rec, err := chain.Recover(dir, gen.authority)
+		rec, err := chain.RecoverOpts(dir, gen.authority, opts.chainOpts(nextShards()))
 		if err != nil {
 			return fmt.Errorf("recover after crash %d: %w", rep.Crashes+1, err)
 		}
@@ -275,6 +286,21 @@ func runCrashSettlement(ctx context.Context, cfg *game.Config, opts Options, inj
 		}
 	}()
 
+	// Shared micro-batcher (see runSettlement); its client carries the
+	// crash-depth retry budget so a batch flush survives an outage.
+	var batcher *chain.BatchSubmitter
+	if opts.Batch {
+		batchClient := chain.NewClientOpts(addr, chain.ClientOptions{
+			Timeout:     5 * time.Second,
+			MaxRetries:  30,
+			BaseBackoff: 5 * time.Millisecond,
+			MaxBackoff:  100 * time.Millisecond,
+			Transport:   inj.RoundTripper("batch", nil),
+		})
+		batcher = chain.NewBatchSubmitter(batchClient, chain.BatchOptions{})
+		defer batcher.Close()
+	}
+
 	settleCtx, cancel := context.WithTimeout(ctx, opts.SettleTimeout)
 	defer cancel()
 	errs := make([]error, n)
@@ -293,7 +319,7 @@ func runCrashSettlement(ctx context.Context, cfg *game.Config, opts Options, inj
 				MaxBackoff:  100 * time.Millisecond,
 				Transport:   inj.RoundTripper(fmt.Sprintf("org-%d", i), nil),
 			})
-			errs[i] = settleMember(settleCtx, client, gen.accounts[i], i, profile[i])
+			errs[i] = settleMember(settleCtx, client, batcher, gen.accounts[i], i, profile[i])
 		}(i)
 	}
 	wg.Wait()

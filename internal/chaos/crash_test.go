@@ -38,6 +38,34 @@ func TestCrashRestartSoak(t *testing.T) {
 	}
 }
 
+// TestCrashSoakShardedBatched is the sharded/pipelined durability run:
+// batched submission through SubmitTxBatch, pipelined sealing, and the
+// default shards=0 per-cycle K rotation, so each recovery reopens the same
+// WAL under a different shard count. The acceptance bar is unchanged —
+// exact durable-prefix reproduction and wei-exact settlement.
+func TestCrashSoakShardedBatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	opts, err := ParseSpec("seed=13,crashcycles=3,crashmin=25ms,crashmax=70ms,orgs=3,game=5,batch=1,shards=0,pipeline=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	rep, err := Run(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RecoveredExact {
+		t.Error("sharded recovery did not reproduce the durable prefix")
+	}
+}
+
 // TestCrashSoakForcedCycle pins the zero-schedule fallback: even when
 // settlement outruns every scheduled kill (or none were scheduled to fire
 // in time), the soak must still force at least one crash/recover cycle so

@@ -39,6 +39,9 @@ func Enable(opts Options) *Auditor {
 	chain.SetSettlementAudit(func(params chain.ContractParams, contribs []chain.Contribution, payoffs []chain.Wei) {
 		a.CheckSettlement(params, contribs, payoffs, "chain")
 	})
+	chain.SetLedgerAudit(func(ev *chain.LedgerAuditEvent) {
+		a.CheckLedger(ev, "chain")
+	})
 	vLog.Info("invariant auditing enabled",
 		"monotoneTol", a.opts.MonotoneTol, "balanceTol", a.opts.BalanceTol,
 		"nashSlack", a.opts.NashSlack, "gridRes", a.opts.GridRes)
@@ -52,6 +55,7 @@ func Disable() {
 	gbd.SetAuditHook(nil)
 	dbr.SetAuditHook(nil)
 	chain.SetSettlementAudit(nil)
+	chain.SetLedgerAudit(nil)
 	global.Store(nil)
 }
 

@@ -17,10 +17,12 @@ cd "$(dirname "$0")/.."
 BENCH_TIME="${BENCH_TIME:-300ms}"
 BENCH_COUNT="${BENCH_COUNT:-3}"
 BENCH_REGEX='^(BenchmarkAblation_MasterSolvers|BenchmarkBestResponse|BenchmarkTensorMatMul|BenchmarkPotential|BenchmarkFleetSolve)$'
+CHAIN_BENCH_REGEX='^(BenchmarkChainSettle|BenchmarkChainSubmitTx)$'
 
 mkdir -p benchmarks
 echo "running tracked benchmarks (benchtime=$BENCH_TIME count=$BENCH_COUNT)..." >&2
 go test -run '^$' -bench "$BENCH_REGEX" -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" . | tee benchmarks/latest.txt
+go test -run '^$' -bench "$CHAIN_BENCH_REGEX" -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" ./internal/chain/ | tee -a benchmarks/latest.txt
 go run ./scripts/benchcmp parse benchmarks/latest.txt > BENCH_latest.json
 echo "wrote benchmarks/latest.txt and BENCH_latest.json" >&2
 

@@ -158,6 +158,17 @@ go run ./scripts/benchcmp fleet-gate \
   -min-solves-per-sec "${FLEET_MIN_SOLVES_PER_SEC:-1000}" \
   BENCH_latest.json
 
+echo "==> chain settlement throughput gate"
+# Sharded batched settlement vs the retained pre-sharding configuration,
+# within one profile (BenchmarkChainSettle). The ratio cancels machine-load
+# noise and the measured margin is wide (>2x the floor on this hardware),
+# so the strict 3x contract is the default here.
+go run ./scripts/benchcmp chain-gate \
+  -min-speedup "${CHAIN_MIN_SPEEDUP:-3}" \
+  -min-tx-per-sec "${CHAIN_MIN_TX_PER_SEC:-1000}" \
+  -txs-per-op 129 \
+  BENCH_latest.json
+
 echo "==> obs tracing overhead gate (in-process A/B)"
 # Tracing must not tax the solver hot path: fleet batch solves with
 # tracing enabled must stay within OBS_TRACE_MAX_PCT of untraced CPU
@@ -173,16 +184,22 @@ go run ./scripts/obsgate -plan "${OBS_AB_PLAN:-auto}" \
 echo "==> durability-gate (WAL/recovery suite, crash-restart soak, group-commit throughput)"
 # The chain's durability contract, in three parts. First the focused
 # WAL/recovery/failover suites under -race: frame torn-tail handling,
-# replay exactness, snapshot + PITR, standby promotion and term fencing.
-go test -race -run 'WAL|Recover|Durable|Snapshot|Checkpoint|PITR|Standby|Replicat|Fencing|Term|ZeroPadding|ZeroExtend|Frame|TornTail|Mempool' \
+# replay exactness, snapshot + PITR, standby promotion and term fencing —
+# plus the sharded-settlement suite (cross-K execution equivalence, batch
+# submission, dedup-horizon eviction, read-path contention, pipelined
+# prefix replay).
+go test -race -run 'WAL|Recover|Durable|Snapshot|Checkpoint|PITR|Standby|Replicat|Fencing|Term|ZeroPadding|ZeroExtend|Frame|TornTail|Mempool|Shard|Batch|Equivalence|Horizon|Contention|Transfer|Prefix' \
   ./internal/chain/ ./internal/durable/
 # One seeded crash-restart soak: kill -9 the validator on a deterministic
 # schedule mid-settlement, recover from snapshot + log each time, and
 # require every recovery to reproduce the durable prefix exactly (height,
 # state root, mempool), the wei-exact settlement check on the final
-# incarnation, and a point-in-time recovery view. Reproduce a failure with
+# incarnation, and a point-in-time recovery view. shards=0 rotates the
+# shard count per recovery and batch=1 drives submission through
+# SubmitTxBatch, so every cycle reopens the same WAL under a different K
+# with batched group commit. Reproduce a failure with
 # `scripts/crashloop.sh "<spec>"`.
-scripts/crashloop.sh "seed=${CHAOS_SEED:-7},crashcycles=3,crashmin=25ms,crashmax=70ms,snapevery=2,rpcfail=0.05,orgs=3,game=5"
+scripts/crashloop.sh "seed=${CHAOS_SEED:-7},crashcycles=3,crashmin=25ms,crashmax=70ms,snapevery=2,rpcfail=0.05,orgs=3,game=5,shards=0,batch=1"
 # Group-commit throughput: WAL-on SubmitTx must stay near the in-memory
 # baseline. The 10% contract holds on a quiet machine (pin WAL_MAX_PCT=10
 # there); on this gate's shared hardware the per-op block-until-durable
