@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"net"
 	"net/http"
@@ -15,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tradefl/internal/httpx"
 	"tradefl/internal/obs"
 )
 
@@ -65,6 +65,17 @@ type rpcError struct {
 	Message string `json:"message"`
 }
 
+// CodeRequestTooLarge is the JSON-RPC error code of a request body that
+// exceeds MaxRequestBody. It rides an HTTP 413 response, and like every
+// server-side rejection it is deterministic and never retried.
+const CodeRequestTooLarge = -32001
+
+// MaxRequestBody caps an RPC request body (1 MiB). An oversized request —
+// in practice a SubmitTxBatch gone too big — is rejected explicitly with
+// CodeRequestTooLarge/HTTP 413 so the client learns to split the batch;
+// silently truncating it would surface as an opaque parse error.
+const MaxRequestBody = 1 << 20
+
 // rpcResponse is a JSON-RPC 2.0 response.
 type rpcResponse struct {
 	JSONRPC string          `json:"jsonrpc"`
@@ -111,7 +122,11 @@ func NewServerWith(bc *Blockchain, addr string, mw func(http.Handler) http.Handl
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/rpc", h)
-	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	// Harden fills the remaining timeouts (full-request read, write, idle)
+	// so a slow-trickled request body cannot hold a connection open
+	// indefinitely; every RPC route is strictly request/response, so no
+	// handler needs a deadline opt-out.
+	s.http = httpx.Harden(&http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second})
 	return s, nil
 }
 
@@ -135,6 +150,13 @@ func (s *Server) Close() error {
 }
 
 func writeRPC(w http.ResponseWriter, id int64, result any, rerr *rpcError) {
+	writeRPCStatus(w, http.StatusOK, id, result, rerr)
+}
+
+// writeRPCStatus is writeRPC with an explicit HTTP status — edge
+// rejections (413 request-too-large) keep the JSON-RPC error body while
+// still speaking honest HTTP to proxies and load balancers.
+func writeRPCStatus(w http.ResponseWriter, status int, id int64, result any, rerr *rpcError) {
 	resp := rpcResponse{JSONRPC: "2.0", ID: id, Error: rerr}
 	if rerr == nil {
 		raw, err := json.Marshal(result)
@@ -145,6 +167,9 @@ func writeRPC(w http.ResponseWriter, id int64, result any, rerr *rpcError) {
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		// The connection is gone; log it so dropped responses are visible
 		// server-side, then move on.
@@ -160,7 +185,15 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	body, err := httpx.ReadBody(r, MaxRequestBody)
+	if errors.Is(err, httpx.ErrBodyTooLarge) {
+		mRPCErrors.Inc()
+		mRPCTooLarge.Inc()
+		rpcLog.Warn("request body over limit", "err", err)
+		writeRPCStatus(w, http.StatusRequestEntityTooLarge, 0, nil,
+			&rpcError{Code: CodeRequestTooLarge, Message: fmt.Sprintf("request too large: %v", err)})
+		return
+	}
 	if err != nil {
 		mRPCErrors.Inc()
 		rpcLog.Warn("request body read failed", "err", err)

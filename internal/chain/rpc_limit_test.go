@@ -1,0 +1,136 @@
+package chain
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tradefl/internal/game"
+	"tradefl/internal/randx"
+)
+
+// limitTestServer starts an RPC server over a minimal one-member chain.
+func limitTestServer(t *testing.T) *Server {
+	t.Helper()
+	src := randx.New(1)
+	authority, err := NewAccount(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	member, err := NewAccount(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := ContractParams{
+		Members:  []Address{member.Address()},
+		Rho:      [][]float64{{0}},
+		DataBits: []float64{1e9},
+		Gamma:    game.DefaultGamma,
+		Lambda:   game.DefaultLambda,
+	}
+	bc, err := NewBlockchain(authority, params, GenesisAlloc{member.Address(): 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(bc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve() }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+// TestRPCOversizedBodyRejectedExplicitly is the regression test for the
+// silent-truncation bug: a request past MaxRequestBody used to be cut at
+// the limit and fail as an opaque JSON parse error (-32700). It must be
+// answered with HTTP 413 and the distinct request-too-large JSON-RPC code.
+func TestRPCOversizedBodyRejectedExplicitly(t *testing.T) {
+	srv := limitTestServer(t)
+
+	// A syntactically valid SubmitTxBatch request over the body limit: the
+	// padding lives inside a JSON string, so under truncation (the old
+	// behavior) this produced exactly the misleading parse error.
+	padding := strings.Repeat("x", MaxRequestBody)
+	body := fmt.Sprintf(`{"jsonrpc":"2.0","id":1,"method":"%s","params":["%s"]}`, MethodSubmitTxBatch, padding)
+
+	resp, err := http.Post("http://"+srv.Addr()+"/rpc", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+	var rpcResp rpcResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rpcResp); err != nil {
+		t.Fatalf("decode 413 body: %v", err)
+	}
+	if rpcResp.Error == nil {
+		t.Fatal("413 response carries no JSON-RPC error object")
+	}
+	if rpcResp.Error.Code != CodeRequestTooLarge {
+		t.Fatalf("error code = %d, want %d (request too large)", rpcResp.Error.Code, CodeRequestTooLarge)
+	}
+	if !strings.Contains(rpcResp.Error.Message, "request too large") {
+		t.Fatalf("error message %q does not name the rejection", rpcResp.Error.Message)
+	}
+}
+
+// TestRPCOversizedBodyClientNotRetried checks the client side: the 413 is
+// a deterministic server rejection, so the client must surface it as an
+// RPCError immediately instead of burning retries on it.
+func TestRPCOversizedBodyClientNotRetried(t *testing.T) {
+	srv := limitTestServer(t)
+	retriesBefore := mClientRetries.Value()
+
+	c := NewClient(srv.Addr())
+	huge := strings.Repeat("x", MaxRequestBody)
+	err := c.Call(MethodSubmitTxBatch, []string{huge}, nil)
+	if err == nil {
+		t.Fatal("oversized call succeeded")
+	}
+	var rerr *RPCError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("error %v is not an RPCError", err)
+	}
+	if rerr.Code != CodeRequestTooLarge {
+		t.Fatalf("client saw code %d, want %d", rerr.Code, CodeRequestTooLarge)
+	}
+	if got := mClientRetries.Value(); got != retriesBefore {
+		t.Fatalf("client retried a deterministic 413 rejection (%d retries)", got-retriesBefore)
+	}
+}
+
+// TestRPCExactLimitBodyStillParsed pins the boundary: a body of exactly
+// MaxRequestBody bytes is legal and must reach the JSON-RPC layer (it
+// fails on the unknown method, not on size).
+func TestRPCExactLimitBodyStillParsed(t *testing.T) {
+	srv := limitTestServer(t)
+
+	skeleton := `{"jsonrpc":"2.0","id":1,"method":"nope","params":["%s"]}`
+	pad := MaxRequestBody - (len(skeleton) - len(`%s`))
+	body := fmt.Sprintf(skeleton, strings.Repeat("x", pad))
+	if len(body) != MaxRequestBody {
+		t.Fatalf("test body is %d bytes, want %d", len(body), MaxRequestBody)
+	}
+	resp, err := http.Post("http://"+srv.Addr()+"/rpc", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (request at the limit is legal)", resp.StatusCode)
+	}
+	var rpcResp rpcResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rpcResp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rpcResp.Error == nil || !strings.Contains(rpcResp.Error.Message, "unknown method") {
+		t.Fatalf("expected unknown-method error, got %+v", rpcResp.Error)
+	}
+}

@@ -1,0 +1,127 @@
+// Package httpx holds the shared hardening primitives of every TradeFL
+// HTTP edge (the chain JSON-RPC server, the obs diagnostics server and the
+// tradefl-server gateway): explicit request-body limits that reject
+// oversized payloads instead of silently truncating them, full server
+// timeouts against request-body slowloris, per-handler deadline opt-outs
+// for legitimately long-lived routes (pprof profiles, SSE streams), and
+// bounded graceful shutdown that drains in-flight responses before
+// falling back to a hard close.
+package httpx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ErrBodyTooLarge reports a request body that exceeded the explicit limit
+// passed to ReadBody. Edges translate it into their protocol's
+// "request too large" shape (HTTP 413, JSON-RPC -32001) instead of the
+// opaque parse error a silent truncation produces.
+var ErrBodyTooLarge = errors.New("request body exceeds limit")
+
+// ReadBody reads the whole request body up to limit bytes. A body longer
+// than limit returns ErrBodyTooLarge (wrapped with both sizes when the
+// declared Content-Length reveals the total) rather than the truncated
+// prefix — truncation turns a too-large request into a garbled one, and
+// the caller's JSON decoder would misreport it as a parse error.
+func ReadBody(r *http.Request, limit int64) ([]byte, error) {
+	// Read one byte past the limit: an exactly-limit-sized body is legal,
+	// and the sentinel byte distinguishes "fits" from "was cut".
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > limit {
+		if r.ContentLength > limit {
+			return nil, fmt.Errorf("%w: %d > %d bytes", ErrBodyTooLarge, r.ContentLength, limit)
+		}
+		return nil, fmt.Errorf("%w: limit %d bytes", ErrBodyTooLarge, limit)
+	}
+	return body, nil
+}
+
+// Default edge timeouts. ReadTimeout covers the whole request (headers +
+// body), closing the slowloris hole left by a bare ReadHeaderTimeout;
+// WriteTimeout bounds the response of ordinary request/response routes —
+// streaming and profiling handlers opt out per request via NoDeadlines.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = 30 * time.Second
+	DefaultWriteTimeout      = 60 * time.Second
+	DefaultIdleTimeout       = 120 * time.Second
+	// DefaultShutdownTimeout bounds a graceful Shutdown before it falls
+	// back to a hard Close.
+	DefaultShutdownTimeout = 5 * time.Second
+)
+
+// Harden fills in the server's zero timeout fields with the package
+// defaults. Explicitly set fields are left alone, so an edge can still
+// choose tighter or looser bounds per field.
+func Harden(srv *http.Server) *http.Server {
+	if srv.ReadHeaderTimeout == 0 {
+		srv.ReadHeaderTimeout = DefaultReadHeaderTimeout
+	}
+	if srv.ReadTimeout == 0 {
+		srv.ReadTimeout = DefaultReadTimeout
+	}
+	if srv.WriteTimeout == 0 {
+		srv.WriteTimeout = DefaultWriteTimeout
+	}
+	if srv.IdleTimeout == 0 {
+		srv.IdleTimeout = DefaultIdleTimeout
+	}
+	return srv
+}
+
+// NoDeadlines clears the connection's read and write deadlines for the
+// current request — the explicit opt-out long-lived handlers (pprof
+// CPU profiles and execution traces, SSE progress streams) use to run
+// past the server-wide ReadTimeout/WriteTimeout without loosening the
+// limits for every other route. It reports whether the underlying
+// connection supported deadline control.
+func NoDeadlines(w http.ResponseWriter, r *http.Request) bool {
+	rc := http.NewResponseController(w)
+	ok := true
+	if err := rc.SetReadDeadline(time.Time{}); err != nil {
+		ok = false
+	}
+	if err := rc.SetWriteDeadline(time.Time{}); err != nil {
+		ok = false
+	}
+	return ok
+}
+
+// SetWriteDeadline gives the current response until d from now to finish —
+// the per-route deadline of handlers that want a bound different from the
+// server-wide WriteTimeout.
+func SetWriteDeadline(w http.ResponseWriter, d time.Duration) error {
+	return http.NewResponseController(w).SetWriteDeadline(time.Now().Add(d))
+}
+
+// Shutdown drains srv gracefully for at most timeout (0 uses
+// DefaultShutdownTimeout): in-flight responses complete, new connections
+// are refused. If the deadline expires with connections still active it
+// falls back to Close so shutdown always terminates, and returns the
+// deadline error.
+func Shutdown(srv *http.Server, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = DefaultShutdownTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		if cerr := srv.Close(); cerr != nil && !errors.Is(cerr, http.ErrServerClosed) {
+			return cerr
+		}
+		return err
+	}
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,187 @@
+package httpx
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReadBodyWithinLimit(t *testing.T) {
+	for _, n := range []int{0, 1, 16, 64} {
+		r := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(strings.Repeat("x", n)))
+		body, err := ReadBody(r, 64)
+		if err != nil {
+			t.Fatalf("ReadBody(%d bytes, limit 64): %v", n, err)
+		}
+		if len(body) != n {
+			t.Fatalf("ReadBody(%d bytes) returned %d bytes", n, len(body))
+		}
+	}
+}
+
+func TestReadBodyOverLimit(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(strings.Repeat("x", 65)))
+	_, err := ReadBody(r, 64)
+	if !errors.Is(err, ErrBodyTooLarge) {
+		t.Fatalf("ReadBody over limit: got %v, want ErrBodyTooLarge", err)
+	}
+	// httptest sets ContentLength from the reader, so the error should
+	// name both sizes.
+	if !strings.Contains(err.Error(), "65 > 64") {
+		t.Fatalf("ReadBody error %q does not report sizes", err)
+	}
+}
+
+func TestReadBodyOverLimitUnknownLength(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/", io.NopCloser(strings.NewReader(strings.Repeat("x", 100))))
+	r.ContentLength = -1 // chunked-style: total unknown up front
+	_, err := ReadBody(r, 64)
+	if !errors.Is(err, ErrBodyTooLarge) {
+		t.Fatalf("ReadBody over limit: got %v, want ErrBodyTooLarge", err)
+	}
+}
+
+func TestHardenFillsZeroFields(t *testing.T) {
+	srv := Harden(&http.Server{ReadTimeout: time.Minute})
+	if srv.ReadTimeout != time.Minute {
+		t.Fatalf("Harden overwrote explicit ReadTimeout: %v", srv.ReadTimeout)
+	}
+	if srv.ReadHeaderTimeout != DefaultReadHeaderTimeout ||
+		srv.WriteTimeout != DefaultWriteTimeout ||
+		srv.IdleTimeout != DefaultIdleTimeout {
+		t.Fatalf("Harden left zero timeouts: %+v", srv)
+	}
+}
+
+func TestNoDeadlinesOnRealServer(t *testing.T) {
+	// A write deadline shorter than the handler's runtime cuts the
+	// response unless the handler opts out.
+	slow := func(optOut bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if optOut {
+				if !NoDeadlines(w, r) {
+					t.Error("NoDeadlines unsupported on net/http connection")
+				}
+			}
+			w.WriteHeader(http.StatusOK)
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			time.Sleep(150 * time.Millisecond)
+			_, _ = io.WriteString(w, "done")
+		}
+	}
+	for _, tc := range []struct {
+		name   string
+		optOut bool
+		wantOK bool
+	}{
+		{"deadline-cuts-slow-handler", false, false},
+		{"opt-out-survives", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewUnstartedServer(slow(tc.optOut))
+			srv.Config.WriteTimeout = 50 * time.Millisecond
+			srv.Start()
+			defer srv.Close()
+			resp, err := http.Get(srv.URL)
+			if err != nil {
+				t.Fatalf("GET: %v", err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			gotOK := err == nil && string(body) == "done"
+			if gotOK != tc.wantOK {
+				t.Fatalf("full body read ok = %v (err %v, body %q), want %v", gotOK, err, body, tc.wantOK)
+			}
+		})
+	}
+}
+
+func TestShutdownDrainsInFlight(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		_, _ = io.WriteString(w, "drained")
+	})}
+	ts := httptest.NewUnstartedServer(nil)
+	ts.Config = srv
+	ts.Start()
+	defer ts.Close()
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+	<-started
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	if err := Shutdown(srv, 2*time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.body != "drained" {
+		t.Fatalf("in-flight request not drained: body %q err %v", r.body, r.err)
+	}
+}
+
+func TestShutdownFallsBackToClose(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		// Never finishes within the shutdown deadline; Close must cut it.
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})}
+	ts := httptest.NewUnstartedServer(nil)
+	ts.Config = srv
+	ts.Start()
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() {
+		resp, err := http.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(done)
+	}()
+	<-started
+	start := time.Now()
+	err := Shutdown(srv, 100*time.Millisecond)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown with stuck handler: got %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Shutdown took %v despite 100ms bound", elapsed)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stuck connection survived the Close fallback")
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"time"
+
+	"tradefl/internal/httpx"
 )
 
 // DiagServer is the opt-in HTTP diagnostics endpoint of a TradeFL process:
@@ -37,10 +39,14 @@ func StartDiag(addr string) (*DiagServer, error) {
 	mux.HandleFunc("/flightz", d.handleFlightz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/profile", longLived(pprof.Profile))
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	d.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	mux.HandleFunc("/debug/pprof/trace", longLived(pprof.Trace))
+	// Harden adds full-request read, write and idle timeouts on top of the
+	// header timeout (request-body slowloris); the CPU-profile and
+	// execution-trace routes, which legitimately run for ?seconds=N, opt
+	// out per request above.
+	d.srv = httpx.Harden(&http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second})
 	go func() {
 		if err := d.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			Component("obs").Error("diag server stopped", "err", err)
@@ -52,8 +58,24 @@ func StartDiag(addr string) (*DiagServer, error) {
 // Addr returns the bound address.
 func (d *DiagServer) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the server.
-func (d *DiagServer) Close() error { return d.srv.Close() }
+// longLived wraps a handler that legitimately outlives the server-wide
+// write timeout (CPU profiles, execution traces) by clearing the
+// connection deadlines for its request only.
+func longLived(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		httpx.NoDeadlines(w, r)
+		h(w, r)
+	}
+}
+
+// Close stops the server gracefully: in-flight scrapes and profiles get a
+// bounded window to finish (a hard Close used to cut /metrics responses
+// and pprof profiles mid-body), then any stragglers are cut. Commands
+// defer this on their SIGINT/SIGTERM exit paths, so a drain happens on
+// every shutdown.
+func (d *DiagServer) Close() error {
+	return httpx.Shutdown(d.srv, httpx.DefaultShutdownTimeout)
+}
 
 func (d *DiagServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "json" {

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestDiagCloseDrainsInFlightProfile is the regression test for the
+// abrupt-shutdown bug: Close used to call srv.Close, cutting in-flight
+// pprof profiles mid-response. A 1-second CPU profile started before
+// Close must now complete with a full body.
+func TestDiagCloseDrainsInFlightProfile(t *testing.T) {
+	d, err := StartDiag("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		code int
+		n    int
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + d.Addr() + "/debug/pprof/profile?seconds=1")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- result{code: resp.StatusCode, n: len(body), err: err}
+	}()
+
+	// Give the profile request time to reach the handler, then shut down
+	// while it is still sampling.
+	time.Sleep(200 * time.Millisecond)
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight profile cut by shutdown: %v", r.err)
+	}
+	if r.code != http.StatusOK || r.n == 0 {
+		t.Fatalf("profile response status %d, %d bytes; want a complete 200", r.code, r.n)
+	}
+}
+
+// TestDiagCloseRefusesNewConnections checks the other half of graceful
+// drain: once Close returns, the listener is gone.
+func TestDiagCloseRefusesNewConnections(t *testing.T) {
+	d, err := StartDiag("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := d.Addr()
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("diag server still serving after Close")
+	}
+}

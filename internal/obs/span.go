@@ -87,6 +87,14 @@ func Span(ctx context.Context, name string) (context.Context, *ActiveSpan) {
 	return context.WithValue(ctx, spanKey{}, s), s
 }
 
+// ContextWithSpan returns ctx carrying s as the current span — the bridge
+// remote-continuation roots (SpanRemote) use to parent further local
+// spans under themselves, e.g. the gateway joining a submitter's trace
+// before handing the context to the solver.
+func ContextWithSpan(ctx context.Context, s *ActiveSpan) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
 // StartChild starts a child span without threading a context — the cheap
 // path for call sites that own both ends of the span (solver loops). The
 // child does not publish on End; the root it hangs under does.

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"tradefl/internal/httpx"
+)
+
+// handler builds the gateway's route table.
+func (s *Server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStreamJob)
+	mux.HandleFunc("POST /v1/solve", s.handleSyncSolve)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s.edge(mux)
+}
+
+// handleCreateJob admits an async job: parse and validate the spec, run
+// the admission pipeline, answer 202 with the job's initial status.
+func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readJSONBody(w, r)
+	if !ok {
+		return
+	}
+	cfgs, plan, err := ParseJobSpec(body, s.opts.Limits)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	job := newJob(s.newJobID(), tenantOf(r), cfgs, plan)
+	job.remoteTC = remoteTrace(r)
+	if aerr := s.admitJob(job); aerr != nil {
+		writeAdmitError(w, aerr)
+		return
+	}
+	log.Debug("job admitted", "id", job.ID, "tenant", job.Tenant, "instances", len(cfgs))
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// handleGetJob answers the job's current status; terminal jobs include
+// their full per-instance results.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job := s.lookupJob(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleCancelJob cancels a queued or running job.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job := s.lookupJob(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	if !job.Cancel() {
+		writeError(w, http.StatusConflict, fmt.Sprintf("job %s is already %s", job.ID, job.State()))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleStreamJob follows a job as Server-Sent Events: it replays the
+// job's event log from the client's cursor (Last-Event-ID on reconnect),
+// then pushes state transitions, per-iteration solver progress
+// (bound gap / potential), per-instance results and the final result
+// event as they happen. The stream is long-lived, so it opts out of the
+// per-route and server write deadlines.
+func (s *Server) handleStreamJob(w http.ResponseWriter, r *http.Request) {
+	job := s.lookupJob(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		return
+	}
+	if !httpx.NoDeadlines(w, r) {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	cursor := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			cursor = n + 1
+		}
+	}
+
+	mStreamClients.Add(1)
+	defer mStreamClients.Add(-1)
+	for {
+		events, wake, terminal := job.since(cursor)
+		for _, ev := range events {
+			data, err := json.Marshal(ev.Data)
+			if err != nil {
+				data = []byte(fmt.Sprintf("%q", err.Error()))
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", cursor, ev.Type, data); err != nil {
+				return
+			}
+			cursor++
+			mStreamEvents.Inc()
+		}
+		if len(events) > 0 {
+			if err := rc.Flush(); err != nil {
+				return
+			}
+			continue
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			// Drain: flush whatever the job has published and end the
+			// stream once it is terminal; one more pass picks up the final
+			// events the draining runners still produce.
+			if job.State().terminal() {
+				return
+			}
+			select {
+			case <-wake:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}
+
+// handleSyncSolve is the bounded synchronous path: small jobs solved on
+// the request goroutine, results in the response body. Larger specs are
+// redirected to the async queue with a 422.
+func (s *Server) handleSyncSolve(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readJSONBody(w, r)
+	if !ok {
+		return
+	}
+	cfgs, plan, err := ParseJobSpec(body, s.opts.Limits)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(cfgs) > s.opts.SyncMaxInstances {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("sync solve accepts at most %d instances (got %d); submit an async job via POST /v1/jobs", s.opts.SyncMaxInstances, len(cfgs)))
+		return
+	}
+	for i, cfg := range cfgs {
+		if cfg.N() > s.opts.SyncMaxN {
+			writeError(w, http.StatusUnprocessableEntity,
+				fmt.Sprintf("sync solve accepts at most N=%d organizations (instance %d has %d); submit an async job via POST /v1/jobs", s.opts.SyncMaxN, i, cfg.N()))
+			return
+		}
+	}
+	if aerr := s.admitTokens(tenantOf(r), len(cfgs)); aerr != nil {
+		writeAdmitError(w, aerr)
+		return
+	}
+	results := s.syncSolve(r.Context(), cfgs, plan)
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+// handleHealthz reports liveness and drain state (503 while draining, so
+// load balancers stop routing to a stopping gateway).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	status := http.StatusOK
+	state := "ok"
+	if draining {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{"status": state, "jobs": jobs})
+}

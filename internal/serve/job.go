@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"tradefl/internal/fleet"
+	"tradefl/internal/game"
+	"tradefl/internal/obs"
+)
+
+// JobState is the lifecycle of an async job.
+type JobState string
+
+// Job lifecycle states. Queued and Running are live; the other three are
+// terminal.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// terminal reports whether the state can no longer change.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one progress record of a job, both retained for replay and
+// pushed to live SSE streams. Type names the SSE event; Data is its JSON
+// payload.
+type Event struct {
+	Type string
+	Data any
+}
+
+// InstanceResult is the gateway-level outcome of one solved instance —
+// the same quantities core.RunBatch derives (payoffs, social welfare), so
+// a streamed result is directly comparable to a batch run.
+type InstanceResult struct {
+	Index         int          `json:"index"`
+	Plan          string       `json:"plan"`
+	Profile       game.Profile `json:"profile,omitempty"`
+	Potential     float64      `json:"potential"`
+	Payoffs       []float64    `json:"payoffs,omitempty"`
+	SocialWelfare float64      `json:"socialWelfare"`
+	Iterations    int          `json:"iterations,omitempty"`
+	Converged     bool         `json:"converged"`
+	Error         string       `json:"error,omitempty"`
+}
+
+// newInstanceResult derives the mechanism quantities from a fleet result,
+// mirroring core.RunBatch (the byte-identity reference of the serve gate).
+func newInstanceResult(idx int, cfg *game.Config, r fleet.Result) InstanceResult {
+	out := InstanceResult{Index: idx, Plan: r.Plan.String()}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+		return out
+	}
+	out.Profile = r.Profile
+	out.Potential = r.Potential
+	out.Payoffs = cfg.Payoffs(r.Profile)
+	out.SocialWelfare = cfg.SocialWelfare(r.Profile)
+	switch {
+	case r.GBD != nil:
+		out.Iterations = r.GBD.Iterations
+		out.Converged = r.GBD.Converged
+	case r.DBR != nil:
+		out.Iterations = r.DBR.Rounds
+		out.Converged = r.DBR.Converged
+	}
+	return out
+}
+
+// Job is one admitted solve request: its instances, lifecycle state,
+// accumulated results, and the append-only event log progress streams
+// replay and follow.
+type Job struct {
+	ID      string
+	Tenant  string
+	Created time.Time
+
+	cfgs []*game.Config
+	plan fleet.Plan
+	// remoteTC is the submitter's trace context (X-Trace-Id/X-Span-Id
+	// headers), continued by the job span so one trace covers client →
+	// gateway → solver; nil roots a fresh trace.
+	remoteTC *obs.TraceContext
+
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    JobState
+	err      string
+	traceID  string
+	started  time.Time
+	finished time.Time
+	results  []InstanceResult
+	events   []Event
+	changed  chan struct{} // closed+replaced on every publish/state change
+}
+
+func newJob(id, tenant string, cfgs []*game.Config, plan fleet.Plan) *Job {
+	j := &Job{
+		ID:      id,
+		Tenant:  tenant,
+		Created: time.Now(),
+		cfgs:    cfgs,
+		plan:    plan,
+		state:   StateQueued,
+		changed: make(chan struct{}),
+	}
+	j.events = append(j.events, j.stateEventLocked())
+	return j
+}
+
+// JobStatus is the JSON shape of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID        string           `json:"id"`
+	Tenant    string           `json:"tenant"`
+	State     JobState         `json:"state"`
+	Instances int              `json:"instances"`
+	Solved    int              `json:"solved"`
+	TraceID   string           `json:"traceId,omitempty"`
+	Error     string           `json:"error,omitempty"`
+	CreatedAt time.Time        `json:"createdAt"`
+	StartedAt *time.Time       `json:"startedAt,omitempty"`
+	DoneAt    *time.Time       `json:"doneAt,omitempty"`
+	Results   []InstanceResult `json:"results,omitempty"`
+}
+
+// Status snapshots the job. Results are included only once the job is
+// terminal; a live job reports progress through its stream instead.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		Tenant:    j.Tenant,
+		State:     j.state,
+		Instances: len(j.cfgs),
+		Solved:    len(j.results),
+		TraceID:   j.traceID,
+		Error:     j.err,
+		CreatedAt: j.Created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.DoneAt = &t
+	}
+	if j.state.terminal() {
+		st.Results = j.results
+	}
+	return st
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// stateEventLocked renders the current state as an event. Callers hold mu.
+func (j *Job) stateEventLocked() Event {
+	data := map[string]any{"id": j.ID, "state": j.state, "instances": len(j.cfgs)}
+	if j.err != "" {
+		data["error"] = j.err
+	}
+	if j.traceID != "" {
+		data["traceId"] = j.traceID
+	}
+	return Event{Type: "state", Data: data}
+}
+
+// notifyLocked wakes every waiter. Callers hold mu.
+func (j *Job) notifyLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// publish appends an event to the log and wakes streams.
+func (j *Job) publish(ev Event) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// setRunning transitions queued → running (no-op when already cancelled)
+// and reports whether the job should run.
+func (j *Job) setRunning(traceID string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.traceID = traceID
+	j.started = time.Now()
+	j.events = append(j.events, j.stateEventLocked())
+	j.notifyLocked()
+	return true
+}
+
+// finish moves the job to its terminal state and appends the final state
+// event (plus a result event carrying every instance when it completed).
+func (j *Job) finish(state JobState, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.err = errMsg
+	j.finished = time.Now()
+	if state == StateDone || state == StateFailed {
+		j.events = append(j.events, Event{Type: "result", Data: map[string]any{
+			"id":      j.ID,
+			"state":   state,
+			"results": j.results,
+		}})
+	}
+	j.events = append(j.events, j.stateEventLocked())
+	j.notifyLocked()
+}
+
+// addResult records one solved instance and publishes its instance event.
+func (j *Job) addResult(res InstanceResult) {
+	j.mu.Lock()
+	j.results = append(j.results, res)
+	j.events = append(j.events, Event{Type: "instance", Data: res})
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// since returns the events past cursor. When none are pending it returns
+// the wake channel to wait on and whether the job is terminal (a terminal
+// job with no pending events means the stream is complete).
+func (j *Job) since(cursor int) ([]Event, <-chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cursor < len(j.events) {
+		// The log is append-only, so the slice is stable to read unlocked.
+		return j.events[cursor:], nil, j.state.terminal()
+	}
+	return nil, j.changed, j.state.terminal()
+}
+
+// Cancel cancels the job: a queued job terminates immediately, a running
+// one has its solve context cancelled (the runner records the terminal
+// state). Returns false when the job was already terminal.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	state := j.state
+	cancel := j.cancel
+	j.mu.Unlock()
+	if state.terminal() {
+		return false
+	}
+	if state == StateQueued {
+		j.finish(StateCancelled, "cancelled before start")
+		return true
+	}
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// progressEvents renders the solver's per-master-iteration convergence
+// series as stream events: bound gap per CGBD iteration (the lb/ub
+// sandwich of Algorithm 1) or potential per DBR sweep — the same series
+// the obs telemetry sink records for -telemetry-out.
+func progressEvents(idx int, r fleet.Result) []Event {
+	switch {
+	case r.GBD != nil:
+		n := len(r.GBD.UpperBounds)
+		if len(r.GBD.LowerBounds) < n {
+			n = len(r.GBD.LowerBounds)
+		}
+		evs := make([]Event, 0, n)
+		for k := 0; k < n; k++ {
+			lb, ub := r.GBD.LowerBounds[k], r.GBD.UpperBounds[k]
+			evs = append(evs, Event{Type: "progress", Data: map[string]any{
+				"instance":   idx,
+				"iteration":  k,
+				"lowerBound": lb,
+				"upperBound": ub,
+				"gap":        ub - lb,
+			}})
+		}
+		return evs
+	case r.DBR != nil:
+		evs := make([]Event, 0, len(r.DBR.PotentialTrace))
+		for k, u := range r.DBR.PotentialTrace {
+			evs = append(evs, Event{Type: "progress", Data: map[string]any{
+				"instance":  idx,
+				"iteration": k,
+				"potential": u,
+			}})
+		}
+		return evs
+	default:
+		return nil
+	}
+}
+
+// jobID renders sequential job IDs with a per-process base so IDs from a
+// restarted gateway don't collide in client logs.
+func jobID(base uint64, seq uint64) string {
+	return fmt.Sprintf("job-%08x-%d", base&0xffffffff, seq)
+}

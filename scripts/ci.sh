@@ -140,6 +140,44 @@ kill "$OBS_PID" 2>/dev/null || true
 wait "$OBS_PID" 2>/dev/null || true
 trap - EXIT
 
+echo "==> serve gate (gateway suite under -race + live HTTP smoke)"
+# The gateway's contract is byte-identity with core.RunBatch under
+# concurrent multi-tenant load, so its suite (including the 64-tenant
+# soak) runs under -race first. Then a live smoke: boot tradefl-server,
+# create a job over HTTP, follow the SSE progress stream to completion
+# and require every streamed instance result to match a local
+# core.RunBatch over the same seeded corpus, field for field. The drain
+# check sends SIGTERM and requires a clean exit (graceful drain).
+go vet ./internal/serve/ ./cmd/tradefl-server/ ./scripts/servegate/
+go test -race -count=1 ./internal/serve/
+SERVE_DIR="$(mktemp -d)"
+SERVE_BIN="$SERVE_DIR/tradefl-server"
+go build -o "$SERVE_BIN" ./cmd/tradefl-server
+SERVE_ADDR="${SERVE_ADDR:-127.0.0.1:6163}"
+"$SERVE_BIN" -listen "$SERVE_ADDR" >/dev/null &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+up=0
+for _ in $(seq 1 50); do
+  if curl -fsS "http://$SERVE_ADDR/healthz" 2>/dev/null | grep -q '"status": "ok"'; then
+    up=1
+    break
+  fi
+  sleep 0.2
+done
+[ "$up" -eq 1 ] || { echo "serve smoke: /healthz never became healthy"; exit 1; }
+go run ./scripts/servegate -addr "$SERVE_ADDR" -count 3 -n 4 -seed 41
+# Oversized bodies get an explicit 413 at the gateway edge, same as the
+# chain RPC fix this gate rides with.
+code="$(head -c 2097152 /dev/zero | tr '\0' 'x' | \
+  curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary @- "http://$SERVE_ADDR/v1/jobs")"
+[ "$code" = "413" ] || { echo "serve smoke: oversized body got $code, want 413"; exit 1; }
+kill -TERM "$SERVE_PID" 2>/dev/null || true
+drained=1
+wait "$SERVE_PID" || drained=0
+[ "$drained" -eq 1 ] || { echo "serve smoke: SIGTERM drain exited nonzero"; exit 1; }
+trap - EXIT
+
 echo "==> bench regression smoke"
 sleep "${BENCH_SETTLE_SECS:-15}" # let CPU contention from the race suite drain
 BENCH_TIME="${BENCH_TIME:-100ms}" BENCH_COUNT="${BENCH_COUNT:-4}" scripts/bench.sh >/dev/null

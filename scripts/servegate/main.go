@@ -1,0 +1,223 @@
+// Command servegate is the CI gate for the mechanism-as-a-service
+// gateway: it drives a running tradefl-server end to end (create job,
+// poll status, follow the SSE progress stream) and checks every streamed
+// instance result against a local core.RunBatch over the same seeded
+// corpus. The gateway's contract is byte-identity — same payoffs, same
+// potential, same social welfare — so any drift fails the gate.
+//
+// Usage:
+//
+//	go run ./scripts/servegate -addr 127.0.0.1:8080 [-count 3] [-n 4] [-seed 41]
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"tradefl/internal/core"
+	"tradefl/internal/fleet"
+	"tradefl/internal/game"
+	"tradefl/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "gateway address")
+	count := flag.Int("count", 3, "instances in the gated job")
+	n := flag.Int("n", 4, "organizations per instance")
+	seed := flag.Int64("seed", 41, "base seed of the generated corpus")
+	timeout := flag.Duration("timeout", 60*time.Second, "overall deadline")
+	flag.Parse()
+
+	if err := run(*addr, *count, *n, *seed, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "servegate:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("servegate: OK — %d streamed instances byte-identical to core.RunBatch\n", *count)
+}
+
+type jobStatus struct {
+	ID      string                 `json:"id"`
+	State   string                 `json:"state"`
+	Error   string                 `json:"error"`
+	Results []serve.InstanceResult `json:"results"`
+}
+
+func run(addr string, count, n int, seed int64, timeout time.Duration) error {
+	base := "http://" + addr
+	deadline := time.Now().Add(timeout)
+
+	// The reference: the same corpus the gateway's generate spec draws
+	// (seeds seed, seed+1, ...), solved directly through core.RunBatch.
+	cfgs := make([]*game.Config, count)
+	for i := range cfgs {
+		cfg, err := game.DefaultConfig(game.GenOptions{N: n, Seed: seed + int64(i)})
+		if err != nil {
+			return fmt.Errorf("generate reference corpus: %w", err)
+		}
+		cfgs[i] = cfg
+	}
+	refs := core.RunBatch(context.Background(), cfgs, fleet.Options{})
+
+	spec := fmt.Sprintf(`{"generate":{"count":%d,"n":%d,"seed":%d}}`, count, n, seed)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return fmt.Errorf("create job: %w", err)
+	}
+	var created jobStatus
+	err = json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decode create response: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted || created.ID == "" {
+		return fmt.Errorf("create job: status %d, id %q", resp.StatusCode, created.ID)
+	}
+	fmt.Println("servegate: created", created.ID)
+
+	// Follow the SSE stream to completion; it ends once the job is
+	// terminal. Collect the per-instance results it pushes.
+	streamed, progress, terminalState, err := followStream(base, created.ID)
+	if err != nil {
+		return fmt.Errorf("stream %s: %w", created.ID, err)
+	}
+	if terminalState != "done" {
+		return fmt.Errorf("stream ended in state %q, want done", terminalState)
+	}
+	if progress == 0 {
+		return fmt.Errorf("stream delivered no progress events")
+	}
+	if len(streamed) != count {
+		return fmt.Errorf("stream delivered %d instance results, want %d", len(streamed), count)
+	}
+	fmt.Printf("servegate: stream done (%d progress events)\n", progress)
+
+	// The status endpoint must agree with the stream.
+	var status jobStatus
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + created.ID)
+		if err != nil {
+			return fmt.Errorf("get status: %w", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decode status: %w", err)
+		}
+		if status.State == "done" || status.State == "failed" || status.State == "cancelled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s not terminal within %v (state %s)", created.ID, timeout, status.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if status.State != "done" {
+		return fmt.Errorf("job state %q (error %q), want done", status.State, status.Error)
+	}
+	if len(status.Results) != count {
+		return fmt.Errorf("status has %d results, want %d", len(status.Results), count)
+	}
+
+	for i := 0; i < count; i++ {
+		if err := compare("streamed", streamed[i], refs[i]); err != nil {
+			return fmt.Errorf("instance %d: %w", i, err)
+		}
+		if err := compare("status", status.Results[i], refs[i]); err != nil {
+			return fmt.Errorf("instance %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// followStream reads the job's SSE stream to EOF, returning the instance
+// results it carried (indexed), the progress-event count and the last
+// state it reported.
+func followStream(base, id string) (map[int]serve.InstanceResult, int, string, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		return nil, 0, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	results := make(map[int]serve.InstanceResult)
+	progress := 0
+	state := ""
+	event := ""
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "progress":
+				progress++
+			case "instance":
+				var res serve.InstanceResult
+				if err := json.Unmarshal([]byte(data), &res); err != nil {
+					return nil, 0, "", fmt.Errorf("decode instance event: %w", err)
+				}
+				results[res.Index] = res
+			case "state":
+				var st struct {
+					State string `json:"state"`
+				}
+				if err := json.Unmarshal([]byte(data), &st); err != nil {
+					return nil, 0, "", fmt.Errorf("decode state event: %w", err)
+				}
+				state = st.State
+			}
+		}
+	}
+	return results, progress, state, sc.Err()
+}
+
+// compare checks one gateway result against its core.RunBatch reference,
+// field by field, requiring exact equality (JSON round-trips float64
+// exactly at Go's shortest round-trip precision).
+func compare(source string, got serve.InstanceResult, want core.BatchResult) error {
+	if want.Fleet.Err != nil {
+		return fmt.Errorf("reference solve failed: %v", want.Fleet.Err)
+	}
+	if got.Error != "" {
+		return fmt.Errorf("%s result failed: %s", source, got.Error)
+	}
+	if got.Plan != want.Fleet.Plan.String() {
+		return fmt.Errorf("%s plan %q, want %q", source, got.Plan, want.Fleet.Plan)
+	}
+	if got.Potential != want.Fleet.Potential {
+		return fmt.Errorf("%s potential %v, want %v", source, got.Potential, want.Fleet.Potential)
+	}
+	if got.SocialWelfare != want.SocialWelfare {
+		return fmt.Errorf("%s social welfare %v, want %v", source, got.SocialWelfare, want.SocialWelfare)
+	}
+	if len(got.Payoffs) != len(want.Payoffs) {
+		return fmt.Errorf("%s has %d payoffs, want %d", source, len(got.Payoffs), len(want.Payoffs))
+	}
+	for i := range got.Payoffs {
+		if got.Payoffs[i] != want.Payoffs[i] {
+			return fmt.Errorf("%s payoff %d = %v, want %v", source, i, got.Payoffs[i], want.Payoffs[i])
+		}
+	}
+	if len(got.Profile) != len(want.Fleet.Profile) {
+		return fmt.Errorf("%s profile has %d strategies, want %d", source, len(got.Profile), len(want.Fleet.Profile))
+	}
+	for i := range got.Profile {
+		if got.Profile[i] != want.Fleet.Profile[i] {
+			return fmt.Errorf("%s strategy %d = %+v, want %+v", source, i, got.Profile[i], want.Fleet.Profile[i])
+		}
+	}
+	return nil
+}
